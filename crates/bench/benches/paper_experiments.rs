@@ -1,0 +1,255 @@
+//! Criterion benches, one per table/figure of the paper: each measures the
+//! headline experiment of that figure (on the simulated machine) so
+//! `cargo bench` exercises every reproduction path end to end. The full
+//! printed tables/series come from the `src/bin/figN` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distfft::plan::{CommBackend, FftOptions};
+use distfft::procgrid::table3_sequence;
+use distfft::Decomp;
+use fft_bench::{timed_average, timed_average_with_comm, N512, N64};
+use fftmodels::bandwidth::{b_pencils, t_pencils, t_slabs, ModelParams};
+use fftmodels::phase::predict_decomp;
+use miniapps::md::{run_rhodopsin, RhodopsinConfig};
+use miniapps::spectral::batching_comparison;
+use simgrid::MachineSpec;
+
+fn small(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(&mut f));
+    g.finish();
+}
+
+fn table1_backends(c: &mut Criterion) {
+    // Every Table I routine exists and plans/executes.
+    let m = MachineSpec::summit();
+    small(c, "table1_all_backends_24ranks", || {
+        for backend in [
+            CommBackend::AllToAll,
+            CommBackend::AllToAllV,
+            CommBackend::AllToAllW,
+            CommBackend::P2p,
+            CommBackend::P2pBlocking,
+        ] {
+            let _ = timed_average(
+                &m,
+                N64,
+                24,
+                FftOptions {
+                    backend,
+                    ..FftOptions::default()
+                },
+                true,
+            );
+        }
+    });
+}
+
+fn fig2_3_alltoall_vs_p2p(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig2_alltoallv_512cubed_24gpus", || {
+        let _ = timed_average(&m, N512, 24, FftOptions::default(), true);
+    });
+    small(c, "fig3_p2p_512cubed_24gpus", || {
+        let _ = timed_average(
+            &m,
+            N512,
+            24,
+            FftOptions {
+                backend: CommBackend::P2p,
+                ..FftOptions::default()
+            },
+            true,
+        );
+    });
+}
+
+fn fig4_bandwidth_model(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig4_bandwidth_sweep", || {
+        for ranks in [6usize, 96, 768] {
+            let (_, comm) = timed_average_with_comm(&m, N512, ranks, FftOptions::default(), true);
+            let _ = b_pencils(
+                (N512[0] * N512[1] * N512[2]) as f64,
+                24,
+                32,
+                comm.as_secs(),
+                1e-6,
+            );
+        }
+    });
+}
+
+fn fig5_phase_diagram(c: &mut Criterion) {
+    small(c, "fig5_model_phase_diagram", || {
+        let p = ModelParams::summit();
+        for ranks in [6usize, 96, 384, 3072] {
+            let _ = predict_decomp(N512, ranks, &p);
+            let _ = t_slabs((N512[0] * N512[1] * N512[2]) as f64, ranks.min(512), &p);
+            let _ = t_pencils((N512[0] * N512[1] * N512[2]) as f64, 24, 32, &p);
+        }
+    });
+}
+
+fn fig6_7_breakdowns(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig6_padded_alltoall_24gpus", || {
+        let _ = timed_average(
+            &m,
+            N512,
+            24,
+            FftOptions {
+                backend: CommBackend::AllToAll,
+                contiguous_fft: true,
+                ..FftOptions::default()
+            },
+            true,
+        );
+    });
+    small(c, "fig7_blocking_p2p_24gpus", || {
+        let _ = timed_average(
+            &m,
+            N512,
+            24,
+            FftOptions {
+                backend: CommBackend::P2pBlocking,
+                ..FftOptions::default()
+            },
+            true,
+        );
+    });
+}
+
+fn fig8_9_gpu_aware_scaling(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig8_alltoall_scaling_aware_vs_staged", || {
+        for aware in [true, false] {
+            let _ = timed_average_with_comm(&m, N512, 192, FftOptions::default(), aware);
+        }
+    });
+    small(c, "fig9_p2p_scaling_aware_vs_staged", || {
+        for aware in [true, false] {
+            let _ = timed_average_with_comm(
+                &m,
+                N512,
+                192,
+                FftOptions {
+                    backend: CommBackend::P2p,
+                    ..FftOptions::default()
+                },
+                aware,
+            );
+        }
+    });
+}
+
+fn fig10_strided_kernels(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    let km = m.kernel_model();
+    small(c, "fig10_kernel_model_calls", || {
+        for first in [true, false] {
+            let _ = km.batched_fft_1d_ns(512, 512, fftkern::LayoutKind::Strided, first);
+            let _ = km.batched_fft_1d_ns(512, 512, fftkern::LayoutKind::Contiguous, false);
+        }
+    });
+}
+
+fn fig11_gpu_aware_16nodes(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig11_alltoallv_96gpus_aware_toggle", || {
+        for aware in [true, false] {
+            let _ = timed_average_with_comm(&m, N512, 96, FftOptions::default(), aware);
+        }
+    });
+}
+
+fn fig12_rhodopsin(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "fig12_rhodopsin_breakdown", || {
+        let _ = run_rhodopsin(&m, &RhodopsinConfig::fftmpi_default(1));
+        let _ = run_rhodopsin(&m, &RhodopsinConfig::heffte_tuned(1));
+    });
+}
+
+fn fig13_batching(c: &mut Criterion) {
+    small(c, "fig13_batched_64cubed", || {
+        let _ = batching_comparison(
+            &MachineSpec::summit(),
+            N64,
+            24,
+            16,
+            &FftOptions::default(),
+        );
+        let _ = batching_comparison(
+            &MachineSpec::spock(),
+            N64,
+            16,
+            16,
+            &FftOptions::default(),
+        );
+    });
+}
+
+fn table3_grids(c: &mut Criterion) {
+    small(c, "table3_grid_sequences", || {
+        for ranks in [6usize, 24, 768, 3072] {
+            let _ = table3_sequence(ranks, N512);
+        }
+    });
+}
+
+fn ablation_grid_shrinking(c: &mut Criterion) {
+    // DESIGN.md ablation: grid shrinking for a small transform on many ranks.
+    let m = MachineSpec::summit();
+    small(c, "ablation_shrink_64cubed_192ranks", || {
+        for shrink in [None, Some(24)] {
+            let _ = timed_average(
+                &m,
+                N64,
+                192,
+                FftOptions {
+                    shrink_to: shrink,
+                    ..FftOptions::default()
+                },
+                true,
+            );
+        }
+    });
+}
+
+fn ablation_decomp(c: &mut Criterion) {
+    let m = MachineSpec::summit();
+    small(c, "ablation_slabs_vs_pencils_192ranks", || {
+        for decomp in [Decomp::Slabs, Decomp::Pencils] {
+            let _ = timed_average(
+                &m,
+                N512,
+                192,
+                FftOptions {
+                    decomp,
+                    ..FftOptions::default()
+                },
+                true,
+            );
+        }
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_backends,
+    fig2_3_alltoall_vs_p2p,
+    fig4_bandwidth_model,
+    fig5_phase_diagram,
+    fig6_7_breakdowns,
+    fig8_9_gpu_aware_scaling,
+    fig10_strided_kernels,
+    fig11_gpu_aware_16nodes,
+    fig12_rhodopsin,
+    fig13_batching,
+    table3_grids,
+    ablation_grid_shrinking,
+    ablation_decomp
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 5 — best-setting regions for a 512³ c2c FFT on an increasing
+//! number of Summit nodes (6 V100/node, 1 MPI rank per GPU): the strong-
+//! scaling curve of the fastest configuration, labeled with the winning
+//! (decomposition, exchange) pair, plus the closed-form model's prediction.
+//!
+//! Paper shape: slabs + point-to-point at the smallest node counts, slabs +
+//! all-to-all in the middle, pencils + all-to-all from 64 nodes on; the
+//! fastest runtimes use GPU-aware SpectrumMPI.
+
+use distfft::plan::{CommBackend, FftOptions};
+use distfft::Decomp;
+use fft_bench::{banner, table3_ranks, timed_average, TextTable, N512};
+use fftmodels::bandwidth::ModelParams;
+use fftmodels::phase::predict_decomp;
+use simgrid::MachineSpec;
+
+fn main() {
+    banner(
+        "Fig. 5",
+        "best-setting regions, 512^3 c2c strong scaling on Summit",
+    );
+    let m = MachineSpec::summit();
+    let params = ModelParams::summit();
+
+    let mut t = TextTable::new(&[
+        "nodes",
+        "ranks",
+        "best time (s)",
+        "best setting",
+        "model predicts",
+    ]);
+    for ranks in table3_ranks() {
+        let mut best: Option<(f64, String)> = None;
+        for decomp in [Decomp::Slabs, Decomp::Pencils] {
+            if decomp == Decomp::Slabs && ranks > N512[1] {
+                continue; // the paper's N2-process slab limit
+            }
+            for (backend, label) in [
+                (CommBackend::AllToAll, "all-to-all"),
+                (CommBackend::AllToAllV, "all-to-all"),
+                (CommBackend::P2p, "point-to-point"),
+            ] {
+                let time = timed_average(
+                    &m,
+                    N512,
+                    ranks,
+                    FftOptions {
+                        decomp,
+                        backend,
+                        ..FftOptions::default()
+                    },
+                    true, // fastest runtimes use GPU-aware SpectrumMPI
+                )
+                .as_secs();
+                let name = format!("{} + {}", decomp.name(), label);
+                if best.as_ref().map(|(bt, _)| time < *bt).unwrap_or(true) {
+                    best = Some((time, name));
+                }
+            }
+        }
+        let (time, setting) = best.expect("at least one candidate");
+        let predicted = predict_decomp(N512, ranks, &params).best;
+        t.row(vec![
+            format!("{}", ranks / 6),
+            format!("{ranks}"),
+            format!("{time:.4}"),
+            setting,
+            predicted.name().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper shape: P2P region at the smallest scales, slabs+A2A in the\n\
+         middle, pencils+A2A from 64 nodes (384 ranks) onward; the model's\n\
+         slab/pencil prediction (last column) crosses at the same point."
+    );
+}

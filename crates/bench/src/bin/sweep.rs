@@ -1,0 +1,78 @@
+//! Configuration sweep utility: the full (ranks × decomposition × backend ×
+//! GPU-awareness) timing landscape for a given transform size — the raw
+//! data behind Figs. 5, 8 and 9, in one table.
+//!
+//! Usage: `cargo run --release -p fft-bench --bin sweep [n] [machine]`
+//! with `n` the cubic transform extent (default 512) and `machine` one of
+//! `summit` (default) or `spock`.
+
+use distfft::plan::{CommBackend, FftOptions};
+use distfft::Decomp;
+use fft_bench::{banner, timed_average, TextTable};
+use simgrid::MachineSpec;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let machine = match std::env::args().nth(2).as_deref() {
+        Some("spock") => MachineSpec::spock(),
+        Some("summit") | None => MachineSpec::summit(),
+        Some(other) => {
+            eprintln!("unknown machine '{other}': expected 'summit' or 'spock'");
+            std::process::exit(2);
+        }
+    };
+    let size = [n, n, n];
+    banner(
+        "sweep",
+        &format!("{n}^3 c2c configuration landscape on {}", machine.name),
+    );
+
+    let node_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .copied()
+        .filter(|nodes| nodes * machine.gpus_per_node <= 4096)
+        .collect();
+
+    let mut t = TextTable::new(&[
+        "nodes", "ranks", "decomp", "backend", "gpu-aware", "time/FFT (ms)",
+    ]);
+    for nodes in node_counts {
+        let ranks = nodes * machine.gpus_per_node;
+        for decomp in [Decomp::Slabs, Decomp::Pencils] {
+            if decomp == Decomp::Slabs && ranks > size[0].min(size[1]) {
+                continue;
+            }
+            for backend in [
+                CommBackend::AllToAll,
+                CommBackend::AllToAllV,
+                CommBackend::P2p,
+            ] {
+                for aware in [true, false] {
+                    let time = timed_average(
+                        &machine,
+                        size,
+                        ranks,
+                        FftOptions {
+                            decomp,
+                            backend,
+                            ..FftOptions::default()
+                        },
+                        aware,
+                    );
+                    t.row(vec![
+                        format!("{nodes}"),
+                        format!("{ranks}"),
+                        decomp.name().to_string(),
+                        backend.routine().to_string(),
+                        if aware { "yes" } else { "no" }.to_string(),
+                        format!("{:.3}", time.as_ms()),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,291 @@
+//! Shared support for the per-figure benchmark harnesses.
+//!
+//! Each binary in `src/bin` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index). The helpers here cover the shared
+//! experimental protocol — the paper's measurement convention (§IV: "the
+//! average runtime of 8 FFTs (4 forward and 4 backward), preceded by 2 FFTs
+//! to warm up"), Table III's rank ladder, and plain-text table output.
+
+use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::plan::{FftOptions, FftPlan};
+use distfft::trace::Trace;
+use fftkern::Direction;
+use simgrid::{MachineSpec, SimTime};
+
+/// The Table III rank ladder: 1…512 Summit nodes at 6 GPUs per node.
+pub fn table3_ranks() -> Vec<usize> {
+    vec![6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072]
+}
+
+/// The paper's headline transform.
+pub const N512: [usize; 3] = [512, 512, 512];
+
+/// The paper's application/batched transform.
+pub const N64: [usize; 3] = [64, 64, 64];
+
+/// Warm-up transforms before timing (paper protocol).
+pub const WARMUPS: usize = 2;
+/// Timed forward+backward pairs (paper protocol: 8 FFTs).
+pub const PAIRS: usize = 4;
+
+/// Runs the paper protocol and returns the average per-transform time.
+pub fn timed_average(
+    machine: &MachineSpec,
+    n: [usize; 3],
+    ranks: usize,
+    opts: FftOptions,
+    gpu_aware: bool,
+) -> SimTime {
+    let plan = FftPlan::build(n, ranks, opts);
+    let mut runner = DryRunner::new(
+        &plan,
+        machine,
+        DryRunOpts {
+            gpu_aware,
+            ..DryRunOpts::default()
+        },
+    );
+    runner.timed_average(WARMUPS, PAIRS)
+}
+
+/// Runs the paper protocol and additionally returns the average per-transform
+/// communication time (max over ranks of summed MPI-call durations).
+pub fn timed_average_with_comm(
+    machine: &MachineSpec,
+    n: [usize; 3],
+    ranks: usize,
+    opts: FftOptions,
+    gpu_aware: bool,
+) -> (SimTime, SimTime) {
+    let plan = FftPlan::build(n, ranks, opts);
+    let mut runner = DryRunner::new(
+        &plan,
+        machine,
+        DryRunOpts {
+            gpu_aware,
+            ..DryRunOpts::default()
+        },
+    );
+    for i in 0..WARMUPS {
+        let dir = if i % 2 == 0 {
+            Direction::Forward
+        } else {
+            Direction::Inverse
+        };
+        let _ = runner.run(dir);
+    }
+    let mut total = SimTime::ZERO;
+    let mut comm = SimTime::ZERO;
+    for _ in 0..PAIRS {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let rep = runner.run(dir);
+            total += rep.makespan();
+            comm += rep.comm_max();
+        }
+    }
+    let k = (2 * PAIRS) as u64;
+    (
+        SimTime::from_ns(total.as_ns() / k),
+        SimTime::from_ns(comm.as_ns() / k),
+    )
+}
+
+/// Collects per-rank traces of the full 10-transform protocol (2 warm-up +
+/// 8 timed), concatenated in execution order per rank — the raw material of
+/// the per-call figures (Figs. 2, 3, 10).
+pub fn protocol_traces(
+    machine: &MachineSpec,
+    n: [usize; 3],
+    ranks: usize,
+    opts: FftOptions,
+    gpu_aware: bool,
+    noise: f64,
+) -> Vec<Trace> {
+    let plan = FftPlan::build(n, ranks, opts);
+    let mut runner = DryRunner::new(
+        &plan,
+        machine,
+        DryRunOpts {
+            gpu_aware,
+            noise_amplitude: noise,
+            ..DryRunOpts::default()
+        },
+    );
+    let mut merged: Vec<Trace> = vec![Trace::new(); ranks];
+    for i in 0..(WARMUPS + 2 * PAIRS) {
+        let dir = if i % 2 == 0 {
+            Direction::Forward
+        } else {
+            Direction::Inverse
+        };
+        let rep = runner.run(dir);
+        for (m, t) in merged.iter_mut().zip(rep.traces) {
+            m.events.extend(t.events);
+        }
+    }
+    merged
+}
+
+/// Per-category runtime breakdown over the full protocol, max across ranks:
+/// the MPI routine total plus each kernel label (the Figs. 6/7 stacked bars).
+pub fn protocol_breakdown(
+    machine: &MachineSpec,
+    n: [usize; 3],
+    ranks: usize,
+    opts: distfft::plan::FftOptions,
+    gpu_aware: bool,
+    noise: f64,
+) -> Vec<(String, SimTime)> {
+    let routine = opts.backend.routine();
+    let traces = protocol_traces(machine, n, ranks, opts, gpu_aware, noise);
+    let mut rows: Vec<(String, SimTime)> = Vec::new();
+    let comm = traces
+        .iter()
+        .map(|t| t.comm_total())
+        .fold(SimTime::ZERO, SimTime::max);
+    rows.push((routine.to_string(), comm));
+    let mut labels: Vec<&'static str> = traces
+        .iter()
+        .flat_map(|t| t.kernel_breakdown().into_keys())
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    for label in labels {
+        let v = traces
+            .iter()
+            .map(|t| {
+                t.kernel_breakdown()
+                    .get(label)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO)
+            })
+            .fold(SimTime::ZERO, SimTime::max);
+        rows.push((label.to_string(), v));
+    }
+    rows
+}
+
+/// Prints one breakdown side (Figs. 6/7) and returns its total in seconds.
+pub fn print_breakdown_side(title: &str, rows: &[(String, SimTime)]) -> f64 {
+    println!("--- {title}");
+    let mut t = TextTable::new(&["kernel", "total (s)", "share"]);
+    let total: f64 = rows.iter().map(|(_, v)| v.as_secs()).sum();
+    for (label, v) in rows {
+        t.row(vec![
+            label.clone(),
+            format!("{:.4}", v.as_secs()),
+            format!("{:5.1}%", 100.0 * v.as_secs() / total),
+        ]);
+    }
+    t.row(vec!["TOTAL".into(), format!("{total:.4}"), "100.0%".into()]);
+    println!("{}", t.render());
+    total
+}
+
+/// Formats a duration in the unit the paper's figures use (seconds with
+/// millisecond precision for totals, µs for kernels).
+pub fn fmt_s(t: SimTime) -> String {
+    format!("{:9.4}", t.as_secs())
+}
+
+/// Formats a duration in milliseconds.
+pub fn fmt_ms(t: SimTime) -> String {
+    format!("{:10.3}", t.as_ms())
+}
+
+/// A minimal aligned text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(fig: &str, desc: &str) {
+    println!("==============================================================");
+    println!("{fig}: {desc}");
+    println!("(simulated Summit/Spock; paper protocol: 2 warm-up + 8 timed FFTs)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfft::plan::FftOptions;
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("333"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn protocol_helpers_are_consistent() {
+        let m = MachineSpec::summit();
+        let avg = timed_average(&m, [32, 32, 32], 12, FftOptions::default(), true);
+        let (avg2, comm) = timed_average_with_comm(&m, [32, 32, 32], 12, FftOptions::default(), true);
+        assert!(avg.as_ns() > 0);
+        // The two protocols measure slightly differently (global span vs
+        // per-transform makespans) but must be within a few percent.
+        let ratio = avg.as_ns() as f64 / avg2.as_ns() as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+        assert!(comm <= avg2);
+    }
+
+    #[test]
+    fn traces_cover_all_protocol_calls() {
+        let m = MachineSpec::summit();
+        let traces = protocol_traces(&m, [32, 32, 32], 12, FftOptions::default(), true, 0.0);
+        assert_eq!(traces.len(), 12);
+        // 10 transforms × 4 reshapes = 40 MPI calls (the Fig. 2 x-axis).
+        assert_eq!(traces[0].mpi_call_durations().len(), 40);
+    }
+}

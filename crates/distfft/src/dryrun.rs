@@ -1,0 +1,350 @@
+//! Analytic (dry-run) executor: walks a plan at any scale without data.
+//!
+//! Reproduces the exact timing of the functional executor — same kernel
+//! model, same schedule walkers, same phase-id sequence — but holds only
+//! per-rank clocks, so 512³ on 3072 simulated GPUs costs milliseconds of
+//! host time. This is what every large-scale figure harness runs on.
+
+use fftkern::Direction;
+use mpisim::coll;
+use mpisim::distro::MpiDistro;
+use mpisim::pattern::{NetParams, P2pFlavor, PhaseEnv};
+use simgrid::{MachineSpec, SimTime};
+
+use crate::boxes::Box3;
+use crate::exec::ExecCtx;
+use crate::plan::{CommBackend, FftPlan, Step};
+use crate::trace::{KernelKind, Trace, TraceEvent};
+
+/// The dry-run twin of `mpisim::WorldOpts`.
+#[derive(Debug, Clone)]
+pub struct DryRunOpts {
+    /// GPU-aware MPI on/off.
+    pub gpu_aware: bool,
+    /// MPI distribution profile.
+    pub distro: MpiDistro,
+    /// Deterministic per-message jitter amplitude.
+    pub noise_amplitude: f64,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Failure injection: per-rank GPU compute slowdown factors (>1 =
+    /// slower), mirroring `WorldOpts::compute_slowdown`.
+    pub compute_slowdown: Vec<(usize, f64)>,
+}
+
+impl Default for DryRunOpts {
+    fn default() -> Self {
+        DryRunOpts {
+            gpu_aware: true,
+            distro: MpiDistro::SpectrumMpi,
+            noise_amplitude: 0.0,
+            seed: 0xF0F0_1234,
+            compute_slowdown: Vec::new(),
+        }
+    }
+}
+
+/// Timing report of one dry-run transform.
+#[derive(Debug, Clone)]
+pub struct DryRunReport {
+    /// Latest entry time across ranks (the synchronized start).
+    pub start: SimTime,
+    /// Per-rank completion times.
+    pub per_rank_total: Vec<SimTime>,
+    /// Per-rank event logs.
+    pub traces: Vec<Trace>,
+}
+
+impl DryRunReport {
+    /// Latest completion across ranks.
+    pub fn end(&self) -> SimTime {
+        self.per_rank_total
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Wall-clock duration of the transform (synchronized-start convention).
+    pub fn makespan(&self) -> SimTime {
+        self.end() - self.start
+    }
+
+    /// Maximum per-rank communication total (sum of MPI call durations).
+    pub fn comm_max(&self) -> SimTime {
+        self.traces
+            .iter()
+            .map(|t| t.comm_total())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+/// Stateful dry runner: clocks persist across transforms exactly like the
+/// rank clocks of the functional world.
+pub struct DryRunner<'a> {
+    plan: &'a FftPlan,
+    machine: &'a MachineSpec,
+    opts: DryRunOpts,
+    ctx: ExecCtx,
+    net_clock: Vec<SimTime>,
+    gpu_clock: Vec<SimTime>,
+}
+
+impl<'a> DryRunner<'a> {
+    /// Creates a runner with all clocks at zero.
+    pub fn new(plan: &'a FftPlan, machine: &'a MachineSpec, opts: DryRunOpts) -> DryRunner<'a> {
+        DryRunner {
+            plan,
+            machine,
+            opts,
+            ctx: ExecCtx::new(),
+            net_clock: vec![SimTime::ZERO; plan.nranks],
+            gpu_clock: vec![SimTime::ZERO; plan.nranks],
+        }
+    }
+
+    /// Current completion time of rank `r` (both resources drained).
+    pub fn rank_time(&self, r: usize) -> SimTime {
+        self.net_clock[r].max(self.gpu_clock[r])
+    }
+
+    /// Executes one transform analytically, advancing the persistent clocks.
+    pub fn run(&mut self, dir: Direction) -> DryRunReport {
+        let plan = self.plan;
+        let km = self.machine.kernel_model();
+        let np = NetParams {
+            spec: self.machine,
+            seed: self.opts.seed,
+            noise_amp: self.opts.noise_amplitude,
+        };
+        let n = plan.nranks;
+        let mut traces = vec![Trace::new(); n];
+
+        let t0: Vec<SimTime> = (0..n).map(|r| self.rank_time(r)).collect();
+        let start = t0.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        // Align both resource clocks to each rank's own entry.
+        #[allow(clippy::needless_range_loop)] // r indexes three parallel arrays
+        for r in 0..n {
+            self.gpu_clock[r] = self.gpu_clock[r].max(t0[r]);
+            self.net_clock[r] = self.net_clock[r].max(t0[r]);
+        }
+
+        let (steps, specs) = match dir {
+            Direction::Forward => (plan.steps_for(dir), &plan.reshapes),
+            Direction::Inverse => (plan.steps_for(dir), &plan.reshapes_rev),
+        };
+
+        let chunks = plan.chunks();
+        let mut data_ready: Vec<Vec<SimTime>> = (0..chunks).map(|_| t0.clone()).collect();
+
+        #[allow(clippy::needless_range_loop)] // c feeds chunk_items() too
+        for c in 0..chunks {
+            let (ilo, ihi) = Box3::chunk(plan.opts.batch, chunks, c);
+            let items = ihi - ilo;
+            for step in &steps {
+                match *step {
+                    Step::LocalFft { dist, axis } => {
+                        let first = self.ctx.first_strided(dist, axis, dir);
+                        for r in 0..n {
+                            let ns = crate::plan::slowed_ns(
+                                &self.opts.compute_slowdown,
+                                r,
+                                plan.local_fft_ns(&km, dist, axis, r, items, first),
+                            );
+                            let start_k = self.gpu_clock[r].max(data_ready[c][r]);
+                            self.gpu_clock[r] = start_k + SimTime::from_ns(ns);
+                            data_ready[c][r] = self.gpu_clock[r];
+                            traces[r].push(TraceEvent::Kernel {
+                                kind: KernelKind::Fft1d {
+                                    axis,
+                                    contiguous: plan.fft_layout(axis)
+                                        == fftkern::kernel_model::LayoutKind::Contiguous,
+                                },
+                                start: start_k,
+                                dur: SimTime::from_ns(ns),
+                            });
+                        }
+                    }
+                    Step::Reshape(ri) => {
+                        let spec = &specs[ri];
+                        let phase_id = self.ctx.next_phase_id();
+                        let backend = plan.opts.backend;
+
+                        // Local kernels bracketing the exchange, per rank.
+                        let mut pack_bytes = vec![0usize; n];
+                        let mut unpack_bytes = vec![0usize; n];
+                        for r in 0..n {
+                            let (p, u, s) = plan.reshape_local_bytes(spec, r);
+                            pack_bytes[r] = p * items;
+                            unpack_bytes[r] = u * items;
+                            let self_b = s * items;
+                            if backend.needs_pack() && pack_bytes[r] > 0 {
+                                let ns = crate::plan::slowed_ns(
+                                    &self.opts.compute_slowdown,
+                                    r,
+                                    plan.pack_ns(&km, pack_bytes[r]),
+                                );
+                                let st = self.gpu_clock[r].max(data_ready[c][r]);
+                                self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                data_ready[c][r] = self.gpu_clock[r];
+                                traces[r].push(TraceEvent::Kernel {
+                                    kind: KernelKind::Pack,
+                                    start: st,
+                                    dur: SimTime::from_ns(ns),
+                                });
+                            }
+                            if backend.is_p2p() && self_b > 0 {
+                                let ns = crate::plan::slowed_ns(
+                                    &self.opts.compute_slowdown,
+                                    r,
+                                    plan.selfcopy_ns(self.machine, self_b),
+                                );
+                                let st = self.gpu_clock[r].max(data_ready[c][r]);
+                                self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                data_ready[c][r] = self.gpu_clock[r];
+                                traces[r].push(TraceEvent::Kernel {
+                                    kind: KernelKind::SelfCopy,
+                                    start: st,
+                                    dur: SimTime::from_ns(ns),
+                                });
+                            }
+                        }
+
+                        // Exchange per communication group.
+                        let env = PhaseEnv {
+                            gpu_aware: self.opts.gpu_aware,
+                            flows_per_nic: self.machine.gpus_per_node.min(plan.nranks),
+                            nodes: self.machine.nodes_for(plan.nranks),
+                            p2p_peers: 1, // per-peer overheads derive from the matrix
+                            phase_id,
+                        };
+                        for group in &spec.groups {
+                            let entries: Vec<SimTime> = group
+                                .iter()
+                                .map(|&r| self.net_clock[r].max(data_ready[c][r]))
+                                .collect();
+                            let mut matrix = spec.group_byte_matrix(group);
+                            for row in matrix.iter_mut() {
+                                for b in row.iter_mut() {
+                                    *b *= items;
+                                }
+                            }
+                            let exits = match backend {
+                                CommBackend::AllToAll => {
+                                    let pad = spec.padded_block_bytes(group) * items;
+                                    coll::alltoall_exit_times(
+                                        &np,
+                                        &env,
+                                        self.opts.distro,
+                                        group,
+                                        &entries,
+                                        pad,
+                                    )
+                                }
+                                CommBackend::AllToAllV => coll::alltoallv_exit_times(
+                                    &np, &env, group, &entries, &matrix,
+                                ),
+                                CommBackend::AllToAllW => coll::alltoallw_exit_times(
+                                    &np,
+                                    &env,
+                                    self.opts.distro,
+                                    group,
+                                    &entries,
+                                    &matrix,
+                                ),
+                                CommBackend::P2p | CommBackend::P2pBlocking => {
+                                    for (i, row) in matrix.iter_mut().enumerate() {
+                                        row[i] = 0; // self block moved by device copy
+                                    }
+                                    let flavor = if backend == CommBackend::P2p {
+                                        P2pFlavor::NonBlocking
+                                    } else {
+                                        P2pFlavor::Blocking
+                                    };
+                                    coll::p2p_exchange_exit_times(
+                                        &np, &env, group, &entries, &matrix, flavor,
+                                    )
+                                }
+                            };
+                            for (i, &r) in group.iter().enumerate() {
+                                let entry = entries[i];
+                                let exit = exits[i];
+                                self.net_clock[r] = exit;
+                                data_ready[c][r] = exit;
+                                traces[r].push(TraceEvent::MpiCall {
+                                    reshape: ri,
+                                    routine: backend.routine(),
+                                    start: entry,
+                                    dur: exit - entry,
+                                    bytes: spec.offrank_send_bytes(r) * items,
+                                });
+                            }
+                        }
+
+                        // Unpack.
+                        for r in 0..n {
+                            if backend.needs_pack() && unpack_bytes[r] > 0 {
+                                let ns = crate::plan::slowed_ns(
+                                    &self.opts.compute_slowdown,
+                                    r,
+                                    plan.unpack_ns(&km, unpack_bytes[r]),
+                                );
+                                let st = self.gpu_clock[r].max(data_ready[c][r]);
+                                self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                data_ready[c][r] = self.gpu_clock[r];
+                                traces[r].push(TraceEvent::Kernel {
+                                    kind: KernelKind::Unpack,
+                                    start: st,
+                                    dur: SimTime::from_ns(ns),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain: completion = max of both resources and all chunks.
+        let mut totals = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut t = self.gpu_clock[r].max(self.net_clock[r]);
+            for ready in data_ready.iter() {
+                t = t.max(ready[r]);
+            }
+            self.gpu_clock[r] = t;
+            self.net_clock[r] = t;
+            totals.push(t);
+        }
+
+        DryRunReport {
+            start,
+            per_rank_total: totals,
+            traces,
+        }
+    }
+
+    /// Runs the paper's measurement protocol: `warmups` transforms, then
+    /// `pairs` forward+backward pairs; returns the average time per
+    /// transform over the timed pairs (§IV: "the average runtime of 8 FFTs
+    /// (4 forward and 4 backward), preceded by 2 FFTs to warm up").
+    pub fn timed_average(&mut self, warmups: usize, pairs: usize) -> SimTime {
+        for i in 0..warmups {
+            let dir = if i % 2 == 0 {
+                Direction::Forward
+            } else {
+                Direction::Inverse
+            };
+            let _ = self.run(dir);
+        }
+        let t_begin = (0..self.plan.nranks)
+            .map(|r| self.rank_time(r))
+            .fold(SimTime::ZERO, SimTime::max);
+        for _ in 0..pairs {
+            let _ = self.run(Direction::Forward);
+            let _ = self.run(Direction::Inverse);
+        }
+        let t_end = (0..self.plan.nranks)
+            .map(|r| self.rank_time(r))
+            .fold(SimTime::ZERO, SimTime::max);
+        SimTime::from_ns((t_end - t_begin).as_ns() / (2 * pairs as u64))
+    }
+}

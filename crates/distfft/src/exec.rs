@@ -1,0 +1,546 @@
+//! Functional executor: runs a plan on `mpisim` rank threads with real data.
+//!
+//! Data correctness and simulated timing are both produced here. The timing
+//! bookkeeping mirrors a GPU + NIC pipeline per rank:
+//!
+//! * `gpu_clock` — when the rank's GPU finishes its latest kernel;
+//! * `rank.clock` — the network timeline (exchange entry/exit, via the
+//!   shared schedule walkers inside the `mpisim` collectives);
+//! * per-chunk `data_ready` — when a pipeline chunk's data is available.
+//!
+//! With `batch == 1` this degenerates to strictly serial execution; with
+//! batched transforms, chunk `c+1`'s kernels overlap chunk `c`'s exchanges —
+//! the communication/computation overlap behind the >2× batching speedups of
+//! Fig. 13.
+
+use std::collections::HashSet;
+
+use fftkern::plan::{Layout, Plan1d};
+use fftkern::{C64, Direction};
+use mpisim::comm::{Comm, Rank};
+use mpisim::coll;
+use mpisim::pattern::{P2pFlavor, PhaseEnv};
+use mpisim::Subarray;
+use simgrid::SimTime;
+
+use crate::boxes::Box3;
+use crate::plan::{CommBackend, FftPlan, Step};
+use crate::reshape::{apply_self_block, ReshapeSpec};
+use crate::trace::{KernelKind, Trace, TraceEvent};
+
+/// Cross-call executor state: strided-plan warmup tracking and the phase-id
+/// counter. Create one per experiment and reuse it across warm-up and timed
+/// transforms so the Fig. 10 first-call spikes land in the warm-up, as on
+/// the real machine.
+#[derive(Debug, Default, Clone)]
+pub struct ExecCtx {
+    strided_seen: HashSet<(usize, usize, bool)>,
+    call_counter: u64,
+}
+
+impl ExecCtx {
+    /// Fresh state (next transform pays the strided first-call spikes).
+    pub fn new() -> ExecCtx {
+        ExecCtx::default()
+    }
+
+    pub(crate) fn first_strided(&mut self, dist: usize, axis: usize, dir: Direction) -> bool {
+        self.strided_seen
+            .insert((dist, axis, matches!(dir, Direction::Forward)))
+    }
+
+    pub(crate) fn next_phase_id(&mut self) -> u64 {
+        let id = self.call_counter;
+        self.call_counter += 1;
+        id
+    }
+}
+
+/// Per-rank result of one executed transform.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Event log of this rank.
+    pub trace: Trace,
+    /// Completion time of this rank (GPU and network both drained).
+    pub total: SimTime,
+}
+
+/// Pre-split sub-communicators for every reshape of a plan, per rank.
+/// Binding is collective: every rank must call [`bind`] at the same point.
+pub struct BoundPlan {
+    fwd_comms: Vec<Option<Comm>>,
+    rev_comms: Vec<Option<Comm>>,
+}
+
+/// Splits the group sub-communicators of every reshape (forward and
+/// reverse). Collective over `comm`.
+pub fn bind(plan: &FftPlan, rank: &mut Rank, comm: &Comm) -> BoundPlan {
+    let split_for = |rank: &mut Rank, specs: &[ReshapeSpec]| -> Vec<Option<Comm>> {
+        specs
+            .iter()
+            .map(|spec| {
+                let me = comm.me();
+                let color = spec.group_of[me].map(|g| g as u64).unwrap_or(u64::MAX);
+                let sub = comm.split(rank, color, me as u64);
+                spec.group_of[me].map(|_| sub)
+            })
+            .collect()
+    };
+    let fwd_comms = split_for(rank, &plan.reshapes);
+    let rev_comms = split_for(rank, &plan.reshapes_rev);
+    BoundPlan {
+        fwd_comms,
+        rev_comms,
+    }
+}
+
+/// Executes one (possibly batched) transform functionally.
+///
+/// `data[b]` holds batch item `b`'s local elements in the layout of the
+/// plan's input distribution (forward) or output distribution (inverse);
+/// on return it holds the transformed elements in the opposite boundary
+/// layout. Transforms are unnormalized in both directions.
+#[allow(clippy::ptr_arg)] // batch items are swapped wholesale; &mut Vec is the honest type
+pub fn execute(
+    plan: &FftPlan,
+    bound: &BoundPlan,
+    ctx: &mut ExecCtx,
+    rank: &mut Rank,
+    comm: &Comm,
+    data: &mut Vec<Vec<C64>>,
+    dir: Direction,
+) -> ExecResult {
+    assert_eq!(comm.size(), plan.nranks, "communicator does not match plan");
+    assert_eq!(data.len(), plan.opts.batch, "one local array per batch item");
+    let me = comm.me();
+    let spec_machine = rank.world().spec().clone();
+    let km = spec_machine.kernel_model();
+    let gpu_aware = rank.world().opts().gpu_aware;
+    let slowdowns = rank.world().opts().compute_slowdown.clone();
+
+    let (start_dist, steps, specs, comms) = match dir {
+        Direction::Forward => (
+            0usize,
+            plan.steps_for(dir),
+            &plan.reshapes,
+            &bound.fwd_comms,
+        ),
+        Direction::Inverse => (
+            plan.dists.len() - 1,
+            plan.steps_for(dir),
+            &plan.reshapes_rev,
+            &bound.rev_comms,
+        ),
+    };
+
+    let expect = plan.dists[start_dist].rank_box(me).volume();
+    for d in data.iter() {
+        assert_eq!(d.len(), expect, "local array does not match input layout");
+    }
+
+    let mut trace = Trace::new();
+    let t0 = rank.now();
+    let mut gpu_clock = t0;
+    let chunks = plan.chunks();
+    let mut data_ready = vec![t0; chunks];
+    // Chunk -> item range.
+    let ranges: Vec<(usize, usize)> = (0..chunks)
+        .map(|c| Box3::chunk(plan.opts.batch, chunks, c))
+        .collect();
+
+    let mut cur_dist = vec![start_dist; chunks];
+    for (c, &(ilo, ihi)) in ranges.iter().enumerate() {
+        let items = ihi - ilo;
+        for step in &steps {
+            match *step {
+                Step::LocalFft { dist, axis } => {
+                    let first = ctx.first_strided(dist, axis, dir);
+                    let ns = crate::plan::slowed_ns(
+                        &slowdowns,
+                        me,
+                        plan.local_fft_ns(&km, dist, axis, me, items, first),
+                    );
+                    let start = gpu_clock.max(data_ready[c]);
+                    gpu_clock = start + SimTime::from_ns(ns);
+                    data_ready[c] = gpu_clock;
+                    trace.push(TraceEvent::Kernel {
+                        kind: KernelKind::Fft1d {
+                            axis,
+                            contiguous: plan.fft_layout(axis)
+                                == fftkern::kernel_model::LayoutKind::Contiguous,
+                        },
+                        start,
+                        dur: SimTime::from_ns(ns),
+                    });
+                    // Real math on every item of this chunk.
+                    let b = plan.dists[dist].rank_box(me);
+                    if !b.is_empty() {
+                        run_local_fft(b, axis, &mut data[ilo..ihi], dir);
+                    }
+                }
+                Step::Reshape(ri) => {
+                    let spec = &specs[ri];
+                    let (from_dist, to_dist) = match dir {
+                        Direction::Forward => (ri, ri + 1),
+                        Direction::Inverse => (ri + 1, ri),
+                    };
+                    debug_assert_eq!(cur_dist[c], from_dist);
+                    exchange_chunk(ExchangeArgs {
+                        plan,
+                        spec,
+                        sub: &comms[ri],
+                        reshape_label: ri,
+                        from_box: plan.dists[from_dist].rank_box(me),
+                        to_box: plan.dists[to_dist].rank_box(me),
+                        km: &km,
+                        spec_machine: &spec_machine,
+                        gpu_aware,
+                        slowdowns: &slowdowns,
+                        rank,
+                        ctx,
+                        trace: &mut trace,
+                        gpu_clock: &mut gpu_clock,
+                        data_ready: &mut data_ready[c],
+                        data: &mut data[ilo..ihi],
+                    });
+                    cur_dist[c] = to_dist;
+                }
+            }
+        }
+    }
+
+    let total = gpu_clock.max(rank.now()).max(
+        data_ready
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max),
+    );
+    rank.clock.sync_to(total);
+    ExecResult { trace, total }
+}
+
+/// Runs the real batched 1-D FFTs along `axis` over every item's local
+/// array (always on the canonical row-major box layout; the contiguous /
+/// strided distinction is a *timing* concern handled by the kernel model).
+fn run_local_fft(b: &Box3, axis: usize, data: &mut [Vec<C64>], dir: Direction) {
+    let s = b.shape();
+    let n = s[axis];
+    if n == 0 {
+        return;
+    }
+    let plan1d = match axis {
+        2 => Plan1d::with_layout(n, s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
+        1 => Plan1d::with_layout(n, s[2], Layout::strided(s[2]), Layout::strided(s[2])),
+        0 => Plan1d::with_layout(
+            n,
+            s[1] * s[2],
+            Layout::strided(s[1] * s[2]),
+            Layout::strided(s[1] * s[2]),
+        ),
+        _ => unreachable!("axis out of range"),
+    };
+    for item in data.iter_mut() {
+        match axis {
+            2 | 0 => plan1d.execute_inplace(item, dir),
+            1 => {
+                // Axis 1 is strided within each axis-0 plane.
+                let plane = s[1] * s[2];
+                for i0 in 0..s[0] {
+                    plan1d.execute_inplace(&mut item[i0 * plane..(i0 + 1) * plane], dir);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct ExchangeArgs<'a, 'w> {
+    plan: &'a FftPlan,
+    spec: &'a ReshapeSpec,
+    sub: &'a Option<Comm>,
+    reshape_label: usize,
+    from_box: &'a Box3,
+    to_box: &'a Box3,
+    km: &'a fftkern::kernel_model::KernelTimeModel,
+    spec_machine: &'a simgrid::MachineSpec,
+    gpu_aware: bool,
+    slowdowns: &'a [(usize, f64)],
+    rank: &'a mut Rank<'w>,
+    ctx: &'a mut ExecCtx,
+    trace: &'a mut Trace,
+    gpu_clock: &'a mut SimTime,
+    data_ready: &'a mut SimTime,
+    data: &'a mut [Vec<C64>],
+}
+
+/// Executes one reshape for one pipeline chunk: pack kernel, exchange on the
+/// group sub-communicator, self-copy (P2P), unpack kernel, plus the actual
+/// data movement for every item in the chunk.
+fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
+    let ExchangeArgs {
+        plan,
+        spec,
+        sub,
+        reshape_label,
+        from_box,
+        to_box,
+        km,
+        spec_machine,
+        gpu_aware,
+        slowdowns,
+        rank,
+        ctx,
+        trace,
+        gpu_clock,
+        data_ready,
+        data,
+    } = a;
+    let me_world = rank.rank();
+    let items = data.len();
+    let backend = plan.opts.backend;
+
+    // Phase id must advance identically on every rank and in the dry run.
+    let phase_id = ctx.next_phase_id();
+
+    let (pack_b, unpack_b, self_b) = plan.reshape_local_bytes(spec, me_world);
+    let (pack_b, unpack_b, self_b) = (pack_b * items, unpack_b * items, self_b * items);
+
+    // Pack kernel.
+    if backend.needs_pack() && pack_b > 0 {
+        let ns = crate::plan::slowed_ns(slowdowns, me_world, plan.pack_ns(km, pack_b));
+        let start = (*gpu_clock).max(*data_ready);
+        *gpu_clock = start + SimTime::from_ns(ns);
+        *data_ready = *gpu_clock;
+        trace.push(TraceEvent::Kernel {
+            kind: KernelKind::Pack,
+            start,
+            dur: SimTime::from_ns(ns),
+        });
+    }
+
+    // New local arrays in the target layout.
+    let mut new_data: Vec<Vec<C64>> = (0..items)
+        .map(|_| vec![C64::ZERO; to_box.volume()])
+        .collect();
+
+    // P2P self block: device copy outside MPI.
+    if backend.is_p2p() && self_b > 0 {
+        let ns =
+            crate::plan::slowed_ns(slowdowns, me_world, plan.selfcopy_ns(spec_machine, self_b));
+        let start = (*gpu_clock).max(*data_ready);
+        *gpu_clock = start + SimTime::from_ns(ns);
+        *data_ready = *gpu_clock;
+        trace.push(TraceEvent::Kernel {
+            kind: KernelKind::SelfCopy,
+            start,
+            dur: SimTime::from_ns(ns),
+        });
+        for (old, new) in data.iter().zip(new_data.iter_mut()) {
+            apply_self_block(from_box, old, to_box, new);
+        }
+    }
+
+    if let Some(sub) = sub {
+        // Exchange on the group sub-communicator.
+        let env = PhaseEnv {
+            gpu_aware,
+            flows_per_nic: spec_machine.gpus_per_node.min(plan.nranks),
+            nodes: spec_machine.nodes_for(plan.nranks),
+            p2p_peers: spec.peer_count(me_world).max(1),
+            phase_id,
+        };
+        // Wait until this chunk's packed data exists.
+        rank.clock.sync_to(*data_ready);
+        let entry = rank.now();
+        let sent_bytes = spec.offrank_send_bytes(me_world) * items;
+
+        match backend {
+            CommBackend::AllToAllW => {
+                run_alltoallw(plan, spec, sub, env, rank, from_box, to_box, data, &mut new_data);
+            }
+            _ => {
+                let sends = build_sends(plan, spec, sub, from_box, data, items);
+                let recvd = match backend {
+                    CommBackend::AllToAll => coll::alltoall(rank, sub, env, sends),
+                    CommBackend::AllToAllV => coll::alltoallv(rank, sub, env, sends),
+                    CommBackend::P2p => {
+                        coll::p2p_exchange(rank, sub, env, P2pFlavor::NonBlocking, sends)
+                    }
+                    CommBackend::P2pBlocking => {
+                        coll::p2p_exchange(rank, sub, env, P2pFlavor::Blocking, sends)
+                    }
+                    CommBackend::AllToAllW => unreachable!(),
+                };
+                deposit_recvs(plan, spec, sub, to_box, &recvd, &mut new_data);
+            }
+        }
+        let exit = rank.now();
+        *data_ready = exit;
+        trace.push(TraceEvent::MpiCall {
+            reshape: reshape_label,
+            routine: backend.routine(),
+            start: entry,
+            dur: exit - entry,
+            bytes: sent_bytes,
+        });
+    }
+
+    // Unpack kernel.
+    if backend.needs_pack() && unpack_b > 0 {
+        let ns = crate::plan::slowed_ns(slowdowns, me_world, plan.unpack_ns(km, unpack_b));
+        let start = (*gpu_clock).max(*data_ready);
+        *gpu_clock = start + SimTime::from_ns(ns);
+        *data_ready = *gpu_clock;
+        trace.push(TraceEvent::Kernel {
+            kind: KernelKind::Unpack,
+            start,
+            dur: SimTime::from_ns(ns),
+        });
+    }
+
+    // Swap the chunk's arrays to the new layout.
+    for (old, new) in data.iter_mut().zip(new_data) {
+        *old = new;
+    }
+}
+
+/// Builds per-destination send buffers (items coalesced), in sub-comm member
+/// order. P2P skips the diagonal; padded Alltoall pads to the group maximum.
+fn build_sends(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    sub: &Comm,
+    from_box: &Box3,
+    data: &[Vec<C64>],
+    items: usize,
+) -> Vec<Vec<C64>> {
+    let me_world = sub.member(sub.me());
+    let is_p2p = plan.opts.backend.is_p2p();
+    let pad_elems = if plan.opts.backend == CommBackend::AllToAll {
+        let gi = spec.group_of[me_world].expect("rank in group");
+        spec.padded_block_bytes(&spec.groups[gi]) / crate::reshape::ELEM_BYTES
+    } else {
+        0
+    };
+
+    (0..sub.size())
+        .map(|j| {
+            let dst_world = sub.member(j);
+            if is_p2p && dst_world == me_world {
+                return Vec::new();
+            }
+            let region = spec
+                .sends[me_world]
+                .iter()
+                .find(|(d, _)| *d == dst_world)
+                .map(|(_, b)| *b);
+            let mut buf = Vec::new();
+            if let Some(region) = region {
+                for item in data.iter().take(items) {
+                    buf.extend(from_box.extract(item, &region));
+                }
+            }
+            if plan.opts.backend == CommBackend::AllToAll {
+                buf.resize(pad_elems * items, C64::ZERO);
+            }
+            buf
+        })
+        .collect()
+}
+
+/// Deposits received (coalesced) blocks into the new local arrays.
+fn deposit_recvs(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    sub: &Comm,
+    to_box: &Box3,
+    recvd: &[Vec<C64>],
+    new_data: &mut [Vec<C64>],
+) {
+    let me_world = sub.member(sub.me());
+    let is_p2p = plan.opts.backend.is_p2p();
+    let items = new_data.len();
+    for (j, block) in recvd.iter().enumerate() {
+        let src_world = sub.member(j);
+        if is_p2p && src_world == me_world {
+            continue; // self block handled by the device copy
+        }
+        let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world)
+        else {
+            continue;
+        };
+        let vol = region.volume();
+        for (b, item) in new_data.iter_mut().enumerate() {
+            let slice = &block[b * vol..(b + 1) * vol];
+            to_box.deposit(item, region, slice);
+        }
+        let _ = items;
+    }
+}
+
+/// Runs the Alltoallw path: sub-array datatypes over the local arrays, no
+/// caller-side packing. Batched transforms are restricted to one item here
+/// (Algorithm 2 is not batched in the paper either).
+#[allow(clippy::too_many_arguments)]
+fn run_alltoallw(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    sub: &Comm,
+    env: PhaseEnv,
+    rank: &mut Rank,
+    from_box: &Box3,
+    to_box: &Box3,
+    data: &mut [Vec<C64>],
+    new_data: &mut [Vec<C64>],
+) {
+    assert_eq!(
+        plan.opts.batch, 1,
+        "the Alltoallw backend supports batch == 1 only"
+    );
+    let me_world = sub.member(sub.me());
+    let empty_send = Subarray::new(from_box.shape(), [0, 0, 0], [0, 0, 0]);
+    let empty_recv = Subarray::new(to_box.shape(), [0, 0, 0], [0, 0, 0]);
+
+    let to_local = |owner: &Box3, region: &Box3| -> Subarray {
+        Subarray::new(
+            owner.shape(),
+            region.shape(),
+            [
+                region.lo[0] - owner.lo[0],
+                region.lo[1] - owner.lo[1],
+                region.lo[2] - owner.lo[2],
+            ],
+        )
+    };
+
+    let send_types: Vec<Subarray> = (0..sub.size())
+        .map(|j| {
+            let dst_world = sub.member(j);
+            spec.sends[me_world]
+                .iter()
+                .find(|(d, _)| *d == dst_world)
+                .map(|(_, r)| to_local(from_box, r))
+                .unwrap_or(empty_send)
+        })
+        .collect();
+    let recv_types: Vec<Subarray> = (0..sub.size())
+        .map(|j| {
+            let src_world = sub.member(j);
+            spec.recvs[me_world]
+                .iter()
+                .find(|(s, _)| *s == src_world)
+                .map(|(_, r)| to_local(to_box, r))
+                .unwrap_or(empty_recv)
+        })
+        .collect();
+
+    coll::alltoallw(
+        rank,
+        sub,
+        env,
+        &data[0],
+        &send_types,
+        &mut new_data[0],
+        &recv_types,
+    );
+}

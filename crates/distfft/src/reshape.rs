@@ -1,0 +1,361 @@
+//! Reshape (a.k.a. remap / transpose) planning.
+//!
+//! A reshape moves the data from one [`Distribution`] to another: rank `r`
+//! sends the intersection of its old box with every rank's new box (paper
+//! Algorithm 1, lines 9–13: pack → transfer → unpack). The planner also
+//! discovers the *communication groups* — the connected components of the
+//! flow graph, which for pencil↔pencil reshapes are exactly the paper's "MPI
+//! groups for each direction" (Algorithm 1, line 5) — so each exchange runs
+//! on a sub-communicator.
+
+use crate::boxes::Box3;
+use crate::procgrid::Distribution;
+use fftkern::C64;
+
+/// Bytes per complex element.
+pub const ELEM_BYTES: usize = C64::BYTES;
+
+/// A fully-resolved reshape between two distributions.
+#[derive(Debug, Clone)]
+pub struct ReshapeSpec {
+    /// Per rank: `(destination rank, region)` pairs, sorted by destination.
+    /// Includes the self block when the old and new boxes overlap.
+    pub sends: Vec<Vec<(usize, Box3)>>,
+    /// Per rank: `(source rank, region)` pairs, sorted by source.
+    pub recvs: Vec<Vec<(usize, Box3)>>,
+    /// Communication groups: connected components of the flow graph with at
+    /// least one member, each sorted ascending. Ranks with no flows at all
+    /// appear in no group.
+    pub groups: Vec<Vec<usize>>,
+    /// Rank → index into `groups` (None for flow-less ranks).
+    pub group_of: Vec<Option<usize>>,
+}
+
+impl ReshapeSpec {
+    /// Plans the reshape `from → to`. Both distributions must cover the same
+    /// domain with the same rank count.
+    pub fn build(from: &Distribution, to: &Distribution) -> ReshapeSpec {
+        let n = from.boxes.len();
+        assert_eq!(n, to.boxes.len(), "distributions disagree on rank count");
+
+        let mut sends: Vec<Vec<(usize, Box3)>> = vec![Vec::new(); n];
+        let mut recvs: Vec<Vec<(usize, Box3)>> = vec![Vec::new(); n];
+        let mut uf = UnionFind::new(n);
+        let mut has_flow = vec![false; n];
+
+        // Domain extents, recovered from the union of boxes (identical in
+        // both distributions by construction).
+        let mut domain = [0usize; 3];
+        for b in from.boxes.iter().chain(to.boxes.iter()) {
+            for d in 0..3 {
+                domain[d] = domain[d].max(b.hi[d]);
+            }
+        }
+
+        for r in 0..n {
+            let src_box = &from.boxes[r];
+            if src_box.is_empty() {
+                continue;
+            }
+            // Fast path: only visit target ranks whose grid cells the source
+            // box can touch — O(peers) per rank instead of O(Π).
+            for s in to.ranks_overlapping(domain, src_box) {
+                let overlap = src_box.intersect(&to.boxes[s]);
+                if overlap.is_empty() {
+                    continue;
+                }
+                sends[r].push((s, overlap));
+                recvs[s].push((r, overlap));
+                has_flow[r] = true;
+                has_flow[s] = true;
+                if r != s {
+                    uf.union(r, s);
+                }
+            }
+        }
+        for v in sends.iter_mut() {
+            v.sort_unstable_by_key(|(d, _)| *d);
+        }
+        for v in recvs.iter_mut() {
+            v.sort_unstable_by_key(|(s, _)| *s);
+        }
+
+        // Connected components over ranks with flows.
+        let mut group_map: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        #[allow(clippy::needless_range_loop)] // r is a rank id fed to find()
+        for r in 0..n {
+            if has_flow[r] {
+                group_map.entry(uf.find(r)).or_default().push(r);
+            }
+        }
+        let groups: Vec<Vec<usize>> = group_map.into_values().collect();
+        let mut group_of = vec![None; n];
+        for (gi, g) in groups.iter().enumerate() {
+            for &r in g {
+                group_of[r] = Some(gi);
+            }
+        }
+        ReshapeSpec {
+            sends,
+            recvs,
+            groups,
+            group_of,
+        }
+    }
+
+    /// True when every rank's only flow is to itself (the reshape is a
+    /// no-op permutation and can be skipped).
+    pub fn is_identity(&self) -> bool {
+        self.sends
+            .iter()
+            .enumerate()
+            .all(|(r, v)| v.iter().all(|(d, _)| *d == r))
+    }
+
+    /// Bytes rank `r` sends to rank `s` (0 if no flow).
+    pub fn bytes(&self, r: usize, s: usize) -> usize {
+        self.sends[r]
+            .iter()
+            .find(|(d, _)| *d == s)
+            .map(|(_, b)| b.volume() * ELEM_BYTES)
+            .unwrap_or(0)
+    }
+
+    /// Total bytes rank `r` sends to *other* ranks (the MPI payload; the
+    /// self block moves by device copy).
+    pub fn offrank_send_bytes(&self, r: usize) -> usize {
+        self.sends[r]
+            .iter()
+            .filter(|(d, _)| *d != r)
+            .map(|(_, b)| b.volume() * ELEM_BYTES)
+            .sum()
+    }
+
+    /// Total bytes rank `r` receives from other ranks.
+    pub fn offrank_recv_bytes(&self, r: usize) -> usize {
+        self.recvs[r]
+            .iter()
+            .filter(|(s, _)| *s != r)
+            .map(|(_, b)| b.volume() * ELEM_BYTES)
+            .sum()
+    }
+
+    /// Number of off-rank destinations of rank `r`.
+    pub fn peer_count(&self, r: usize) -> usize {
+        self.sends[r].iter().filter(|(d, _)| *d != r).count()
+    }
+
+    /// The largest per-pair block (bytes) within rank `r`'s group — what a
+    /// padded `MPI_Alltoall` must size every block to (§IV-B: "the cost
+    /// associated with padding").
+    pub fn padded_block_bytes(&self, group: &[usize]) -> usize {
+        let mut max = 0;
+        for &r in group {
+            for (_, b) in &self.sends[r] {
+                max = max.max(b.volume() * ELEM_BYTES);
+            }
+        }
+        max
+    }
+
+    /// Builds the dense per-pair byte matrix of one group (indices are
+    /// positions within `group`), for the schedule walkers.
+    pub fn group_byte_matrix(&self, group: &[usize]) -> Vec<Vec<usize>> {
+        let pos: std::collections::HashMap<usize, usize> =
+            group.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let mut m = vec![vec![0usize; group.len()]; group.len()];
+        for (i, &r) in group.iter().enumerate() {
+            for (d, b) in &self.sends[r] {
+                if let Some(&j) = pos.get(d) {
+                    m[i][j] = b.volume() * ELEM_BYTES;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Applies the local (self) part of a reshape: copies the overlap of the
+/// rank's old and new boxes directly.
+pub fn apply_self_block(
+    old_box: &Box3,
+    old_data: &[C64],
+    new_box: &Box3,
+    new_data: &mut [C64],
+) {
+    let overlap = old_box.intersect(new_box);
+    if overlap.is_empty() {
+        return;
+    }
+    let block = old_box.extract(old_data, &overlap);
+    new_box.deposit(new_data, &overlap, &block);
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procgrid::Distribution;
+
+    fn n64() -> [usize; 3] {
+        [8, 8, 8]
+    }
+
+    #[test]
+    fn pencil_to_pencil_groups_follow_fixed_axis() {
+        // (1,2,4) -> (2,1,4): flows stay within fixed axis-2 chunks, giving
+        // 4 groups of 2 ranks — the paper's per-direction MPI groups.
+        let a = Distribution::new(n64(), [1, 2, 4], 8);
+        let b = Distribution::new(n64(), [2, 1, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        assert_eq!(rs.groups.len(), 4);
+        for g in &rs.groups {
+            assert_eq!(g.len(), 2);
+        }
+        assert!(!rs.is_identity());
+    }
+
+    #[test]
+    fn brick_to_pencil_is_one_big_group() {
+        let a = Distribution::new(n64(), [2, 2, 2], 8);
+        let b = Distribution::new(n64(), [1, 2, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        assert_eq!(rs.groups.len(), 1);
+        assert_eq!(rs.groups[0].len(), 8);
+    }
+
+    #[test]
+    fn identity_reshape_detected() {
+        let a = Distribution::new(n64(), [2, 2, 2], 8);
+        let rs = ReshapeSpec::build(&a, &a.clone());
+        assert!(rs.is_identity());
+        // Still has (self) flows for every rank.
+        for r in 0..8 {
+            assert_eq!(rs.sends[r].len(), 1);
+            assert_eq!(rs.sends[r][0].0, r);
+        }
+    }
+
+    #[test]
+    fn flows_conserve_volume() {
+        let a = Distribution::new([8, 9, 10], [2, 3, 1], 6);
+        let b = Distribution::new([8, 9, 10], [1, 2, 3], 6);
+        let rs = ReshapeSpec::build(&a, &b);
+        // Total sent volume equals the domain volume.
+        let sent: usize = rs
+            .sends
+            .iter()
+            .flat_map(|v| v.iter().map(|(_, b)| b.volume()))
+            .sum();
+        assert_eq!(sent, 720);
+        // Each rank receives exactly its new box volume.
+        for r in 0..6 {
+            let recv: usize = rs.recvs[r].iter().map(|(_, b)| b.volume()).sum();
+            assert_eq!(recv, b.boxes[r].volume(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn recv_regions_partition_target_box() {
+        let a = Distribution::new([8, 8, 8], [4, 1, 2], 8);
+        let b = Distribution::new([8, 8, 8], [1, 4, 2], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        for r in 0..8 {
+            // Pairwise disjoint.
+            let regions: Vec<&Box3> = rs.recvs[r].iter().map(|(_, b)| b).collect();
+            for i in 0..regions.len() {
+                for j in (i + 1)..regions.len() {
+                    assert!(regions[i].intersect(regions[j]).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_accessors_agree() {
+        let a = Distribution::new([8, 8, 8], [1, 2, 4], 8);
+        let b = Distribution::new([8, 8, 8], [2, 1, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        for r in 0..8 {
+            let total: usize = (0..8).filter(|&s| s != r).map(|s| rs.bytes(r, s)).sum();
+            assert_eq!(total, rs.offrank_send_bytes(r));
+        }
+        // Symmetric distributions here: sends == recvs in aggregate.
+        let s: usize = (0..8).map(|r| rs.offrank_send_bytes(r)).sum();
+        let v: usize = (0..8).map(|r| rs.offrank_recv_bytes(r)).sum();
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn padded_block_is_group_max() {
+        // Uneven domain so blocks differ.
+        let a = Distribution::new([8, 9, 10], [1, 3, 2], 6);
+        let b = Distribution::new([8, 9, 10], [3, 1, 2], 6);
+        let rs = ReshapeSpec::build(&a, &b);
+        for g in &rs.groups {
+            let pad = rs.padded_block_bytes(g);
+            let m = rs.group_byte_matrix(g);
+            let max_in_matrix = m.iter().flatten().copied().max().unwrap();
+            // The matrix excludes nothing within the group, so they agree.
+            assert_eq!(pad, max_in_matrix);
+            assert!(pad > 0);
+        }
+    }
+
+    #[test]
+    fn shrinking_reshape_routes_to_active_subset() {
+        // 8 ranks, data shrinks onto the first 2.
+        let a = Distribution::new([8, 8, 8], [2, 2, 2], 8);
+        let b = Distribution::new([8, 8, 8], [1, 2, 1], 8); // 2 active
+        let rs = ReshapeSpec::build(&a, &b);
+        // Every rank sends somewhere; only ranks 0..2 receive.
+        for r in 0..8 {
+            assert!(!rs.sends[r].is_empty(), "rank {r} must send");
+        }
+        for r in 2..8 {
+            assert!(rs.recvs[r].is_empty(), "inactive rank {r} must not receive");
+        }
+        // One group containing all flowing ranks.
+        assert_eq!(rs.groups.len(), 1);
+        assert_eq!(rs.groups[0].len(), 8);
+    }
+
+    #[test]
+    fn apply_self_block_copies_overlap() {
+        let old_box = Box3::new([0, 0, 0], [4, 4, 4]);
+        let new_box = Box3::new([2, 0, 0], [6, 4, 4]);
+        let old: Vec<C64> = (0..64).map(|i| C64::real(i as f64)).collect();
+        let mut new = vec![C64::ZERO; 64];
+        apply_self_block(&old_box, &old, &new_box, &mut new);
+        // Global point (2,0,0): old index 2*16=32; new index 0.
+        assert_eq!(new[0], C64::real(32.0));
+        // Global point (3,1,2): old 3*16+1*4+2 = 54; new (1,1,2) = 16+4+2 = 22.
+        assert_eq!(new[22], C64::real(54.0));
+    }
+}

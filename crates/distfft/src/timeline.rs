@@ -1,0 +1,175 @@
+//! ASCII timeline rendering of execution traces.
+//!
+//! Turns per-rank [`Trace`]s into a Gantt-style chart — the visual the
+//! paper's breakdown figures summarize — so plan behaviour (overlap, waits,
+//! stragglers, padding blowups) can be inspected straight from a terminal:
+//!
+//! ```text
+//! rank 0 |PPP###########UU.FFF.PPP#####UU...|
+//! rank 1 |PP############UUU.FF.PP######UUU..|
+//!         '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '.' idle
+//! ```
+
+use simgrid::SimTime;
+
+use crate::trace::{KernelKind, Trace, TraceEvent};
+
+/// Glyph for each event category.
+fn glyph(e: &TraceEvent) -> char {
+    match e {
+        TraceEvent::MpiCall { .. } => '#',
+        TraceEvent::Kernel { kind, .. } => match kind {
+            KernelKind::Fft1d { .. } => 'F',
+            KernelKind::Pack => 'P',
+            KernelKind::Unpack => 'U',
+            KernelKind::SelfCopy => 'S',
+            KernelKind::Pointwise => '*',
+        },
+    }
+}
+
+fn span(e: &TraceEvent) -> (SimTime, SimTime) {
+    match e {
+        TraceEvent::MpiCall { start, dur, .. } | TraceEvent::Kernel { start, dur, .. } => {
+            (*start, *start + *dur)
+        }
+    }
+}
+
+/// Renders per-rank traces into a fixed-width timeline.
+///
+/// Each row is one rank; each column is a `(t_max - t_min)/width` slice of
+/// simulated time. When several events touch a slice, the one covering the
+/// most of it wins. Idle time renders as `.`.
+pub fn render(traces: &[Trace], width: usize) -> String {
+    assert!(width > 0, "timeline width must be positive");
+    let mut t_min = SimTime(u64::MAX);
+    let mut t_max = SimTime::ZERO;
+    for t in traces {
+        for e in &t.events {
+            let (s, f) = span(e);
+            t_min = t_min.min(s);
+            t_max = t_max.max(f);
+        }
+    }
+    if t_max <= t_min {
+        return String::from("(empty trace)\n");
+    }
+    let total = (t_max - t_min).as_ns() as f64;
+    let slice_ns = total / width as f64;
+
+    let mut out = String::new();
+    for (r, trace) in traces.iter().enumerate() {
+        let mut cover = vec![(0.0f64, '.'); width];
+        for e in &trace.events {
+            let (s, f) = span(e);
+            if f <= s {
+                continue;
+            }
+            let g = glyph(e);
+            let s_rel = (s - t_min).as_ns() as f64;
+            let f_rel = (f - t_min).as_ns() as f64;
+            let first = (s_rel / slice_ns).floor() as usize;
+            let last = ((f_rel / slice_ns).ceil() as usize).min(width);
+            for (c, slot) in cover.iter_mut().enumerate().take(last).skip(first) {
+                let c_lo = c as f64 * slice_ns;
+                let c_hi = c_lo + slice_ns;
+                let overlap = (f_rel.min(c_hi) - s_rel.max(c_lo)).max(0.0);
+                if overlap > slot.0 {
+                    *slot = (overlap, g);
+                }
+            }
+        }
+        out.push_str(&format!("rank {r:>3} |"));
+        out.extend(cover.iter().map(|(_, g)| *g));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "          0 {:>width$}\n",
+        format!("{}", t_max - t_min),
+        width = width.saturating_sub(1)
+    ));
+    out.push_str("          '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '*' pointwise  '.' idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpi(start: u64, dur: u64) -> TraceEvent {
+        TraceEvent::MpiCall {
+            reshape: 0,
+            routine: "MPI_Alltoallv",
+            start: SimTime::from_ns(start),
+            dur: SimTime::from_ns(dur),
+            bytes: 0,
+        }
+    }
+
+    fn fft(start: u64, dur: u64) -> TraceEvent {
+        TraceEvent::Kernel {
+            kind: KernelKind::Fft1d {
+                axis: 0,
+                contiguous: true,
+            },
+            start: SimTime::from_ns(start),
+            dur: SimTime::from_ns(dur),
+        }
+    }
+
+    #[test]
+    fn renders_phases_in_order() {
+        let mut t = Trace::new();
+        t.push(fft(0, 500));
+        t.push(mpi(500, 500));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        // First half FFT, second half MPI.
+        assert!(row.contains("FFFFF#####"), "row was: {row}");
+    }
+
+    #[test]
+    fn idle_gaps_render_as_dots() {
+        let mut t = Trace::new();
+        t.push(fft(0, 100));
+        t.push(mpi(900, 100));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        assert!(row.contains('.'), "expected idle dots in {row}");
+        assert!(row.starts_with("rank   0 |F"));
+        assert!(row.ends_with("#|"));
+    }
+
+    #[test]
+    fn multiple_ranks_share_the_time_axis() {
+        let mut a = Trace::new();
+        a.push(fft(0, 1000));
+        let mut b = Trace::new();
+        b.push(mpi(0, 2000));
+        let s = render(&[a, b], 8);
+        let rows: Vec<&str> = s.lines().collect();
+        // Rank 0 is busy only for the first half of the shared axis.
+        assert!(rows[0].contains("FFFF...."), "{}", rows[0]);
+        assert!(rows[1].contains("########"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert_eq!(render(&[Trace::new()], 20), "(empty trace)\n");
+    }
+
+    #[test]
+    fn real_plan_timeline_contains_all_phases() {
+        use crate::dryrun::{DryRunner, DryRunOpts};
+        use crate::plan::{FftOptions, FftPlan};
+        let plan = FftPlan::build([32, 32, 32], 12, FftOptions::default());
+        let machine = simgrid::MachineSpec::summit();
+        let mut runner = DryRunner::new(&plan, &machine, DryRunOpts::default());
+        let rep = runner.run(fftkern::Direction::Forward);
+        let s = render(&rep.traces, 80);
+        assert_eq!(s.lines().count(), 12 + 2);
+        assert!(s.contains('#'), "missing MPI spans");
+        assert!(s.contains('F') || s.contains('P'), "missing kernel spans");
+    }
+}

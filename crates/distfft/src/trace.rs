@@ -1,0 +1,204 @@
+//! Execution traces: per-call and per-kernel event records.
+//!
+//! The paper's per-call figures (Figs. 2, 3, 10) and runtime breakdowns
+//! (Figs. 6, 7, 12) are regenerated from these traces.
+
+use simgrid::SimTime;
+use std::collections::BTreeMap;
+
+/// Category of a local kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Batched 1-D FFT pass along `axis`, contiguous or strided input.
+    Fft1d {
+        /// Transform axis (0..3).
+        axis: usize,
+        /// Whether the kernel read unit-stride data.
+        contiguous: bool,
+    },
+    /// Packing scattered box data into send buffers.
+    Pack,
+    /// Unpacking receive buffers into the local array.
+    Unpack,
+    /// The on-rank self block copy of a reshape.
+    SelfCopy,
+    /// Element-wise spectral kernel (scaling, Green's function, masks).
+    Pointwise,
+}
+
+impl KernelKind {
+    /// Breakdown label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Fft1d { .. } => "FFT",
+            KernelKind::Pack => "pack",
+            KernelKind::Unpack => "unpack",
+            KernelKind::SelfCopy => "self-copy",
+            KernelKind::Pointwise => "pointwise",
+        }
+    }
+}
+
+/// One recorded event on one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An MPI exchange call (one reshape on one backend).
+    MpiCall {
+        /// Reshape index within the plan.
+        reshape: usize,
+        /// Routine name as the paper labels it ("MPI_Alltoallv", …).
+        routine: &'static str,
+        /// Entry time on this rank.
+        start: SimTime,
+        /// Exit − entry on this rank.
+        dur: SimTime,
+        /// Off-rank payload this rank sent in the call.
+        bytes: usize,
+    },
+    /// A local kernel execution.
+    Kernel {
+        /// Kernel category.
+        kind: KernelKind,
+        /// Launch time.
+        start: SimTime,
+        /// Modeled duration.
+        dur: SimTime,
+    },
+}
+
+/// An append-only per-rank event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All MPI call durations, in call order.
+    pub fn mpi_call_durations(&self) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MpiCall { dur, .. } => Some(*dur),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Sum of all MPI call durations (the "communication cost").
+    pub fn comm_total(&self) -> SimTime {
+        self.mpi_call_durations().into_iter().sum()
+    }
+
+    /// Kernel-time totals by breakdown label (the Figs. 6/7 stacked bars).
+    pub fn kernel_breakdown(&self) -> BTreeMap<&'static str, SimTime> {
+        let mut m: BTreeMap<&'static str, SimTime> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceEvent::Kernel { kind, dur, .. } = e {
+                *m.entry(kind.label()).or_insert(SimTime::ZERO) += *dur;
+            }
+        }
+        m
+    }
+
+    /// Durations of the FFT kernel calls only, in call order (Fig. 10).
+    pub fn fft_call_durations(&self) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Kernel {
+                    kind: KernelKind::Fft1d { .. },
+                    dur,
+                    ..
+                } => Some(*dur),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merges per-rank traces into the per-call *maximum* duration across
+    /// ranks — what a wall-clock measurement of a collective reports.
+    pub fn max_mpi_calls(traces: &[Trace]) -> Vec<SimTime> {
+        let calls = traces
+            .iter()
+            .map(|t| t.mpi_call_durations())
+            .collect::<Vec<_>>();
+        let ncalls = calls.iter().map(|c| c.len()).max().unwrap_or(0);
+        (0..ncalls)
+            .map(|i| {
+                calls
+                    .iter()
+                    .filter_map(|c| c.get(i).copied())
+                    .fold(SimTime::ZERO, SimTime::max)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(dur_ns: u64) -> TraceEvent {
+        TraceEvent::MpiCall {
+            reshape: 0,
+            routine: "MPI_Alltoallv",
+            start: SimTime::ZERO,
+            dur: SimTime::from_ns(dur_ns),
+            bytes: 100,
+        }
+    }
+
+    fn kern(kind: KernelKind, dur_ns: u64) -> TraceEvent {
+        TraceEvent::Kernel {
+            kind,
+            start: SimTime::ZERO,
+            dur: SimTime::from_ns(dur_ns),
+        }
+    }
+
+    #[test]
+    fn totals_and_breakdown() {
+        let mut t = Trace::new();
+        t.push(call(100));
+        t.push(kern(KernelKind::Pack, 10));
+        t.push(call(200));
+        t.push(kern(
+            KernelKind::Fft1d {
+                axis: 2,
+                contiguous: true,
+            },
+            50,
+        ));
+        t.push(kern(KernelKind::Unpack, 15));
+        assert_eq!(t.comm_total().as_ns(), 300);
+        let b = t.kernel_breakdown();
+        assert_eq!(b["pack"].as_ns(), 10);
+        assert_eq!(b["unpack"].as_ns(), 15);
+        assert_eq!(b["FFT"].as_ns(), 50);
+        assert_eq!(t.fft_call_durations(), vec![SimTime::from_ns(50)]);
+        assert_eq!(t.mpi_call_durations().len(), 2);
+    }
+
+    #[test]
+    fn max_across_ranks() {
+        let mut a = Trace::new();
+        a.push(call(100));
+        a.push(call(300));
+        let mut b = Trace::new();
+        b.push(call(150));
+        b.push(call(250));
+        let m = Trace::max_mpi_calls(&[a, b]);
+        assert_eq!(m, vec![SimTime::from_ns(150), SimTime::from_ns(300)]);
+    }
+}

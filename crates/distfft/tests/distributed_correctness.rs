@@ -1,0 +1,360 @@
+//! Distributed-transform correctness: every decomposition × backend
+//! combination must compute exactly the same 3-D FFT as the local engine
+//! (which is itself validated against the naive DFT).
+
+use distfft::exec::{bind, execute, ExecCtx};
+use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
+use distfft::Decomp;
+use fftkern::complex::max_abs_diff;
+use fftkern::{C64, Direction, Plan3d};
+use mpisim::comm::{Comm, World, WorldOpts};
+use simgrid::MachineSpec;
+
+/// Deterministic pseudo-random field.
+fn field(n: [usize; 3]) -> Vec<C64> {
+    (0..n[0] * n[1] * n[2])
+        .map(|i| {
+            let x = i as f64;
+            C64::new((x * 0.37).sin() + 0.1, (x * 0.91).cos() - 0.2)
+        })
+        .collect()
+}
+
+/// Scatters the global field into per-rank local arrays of distribution `d`.
+fn scatter(global: &[C64], plan: &FftPlan, dist_idx: usize, rank: usize) -> Vec<C64> {
+    let b = plan.dists[dist_idx].rank_box(rank);
+    let whole = distfft::Box3::whole(plan.n);
+    whole.extract(global, b)
+}
+
+/// Gathers per-rank local arrays back into a global field.
+fn gather(locals: &[Vec<C64>], plan: &FftPlan, dist_idx: usize) -> Vec<C64> {
+    let whole = distfft::Box3::whole(plan.n);
+    let mut global = vec![C64::ZERO; plan.total_elems()];
+    for (r, local) in locals.iter().enumerate() {
+        let b = plan.dists[dist_idx].rank_box(r);
+        if !b.is_empty() {
+            whole.deposit(&mut global, b, local);
+        }
+    }
+    global
+}
+
+/// Runs a forward transform of `n` over `nranks` ranks and compares with the
+/// local 3-D FFT of the same field.
+fn check_forward(n: [usize; 3], nranks: usize, opts: FftOptions) {
+    let plan = FftPlan::build(n, nranks, opts);
+    let world = World::new(MachineSpec::testbox(2), nranks, WorldOpts::default());
+    let global = field(n);
+
+    let locals = world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(&plan, rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let mut data = vec![scatter(&global, &plan, 0, rank.rank())];
+        let res = execute(
+            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+        );
+        assert!(res.total.as_ns() > 0 || plan.total_elems() == 0);
+        data.remove(0)
+    });
+
+    let got = gather(&locals, &plan, plan.dists.len() - 1);
+    let mut expect = global;
+    Plan3d::new(n[0], n[1], n[2]).execute(&mut expect, Direction::Forward);
+    let err = max_abs_diff(&got, &expect);
+    let scale = plan.total_elems() as f64;
+    assert!(
+        err < 1e-8 * scale,
+        "forward mismatch: err={err:.3e} for n={n:?} ranks={nranks} opts={:?}",
+        plan.opts
+    );
+}
+
+/// Forward then inverse must reproduce the input scaled by N.
+fn check_roundtrip(n: [usize; 3], nranks: usize, opts: FftOptions) {
+    let plan = FftPlan::build(n, nranks, opts);
+    let world = World::new(MachineSpec::testbox(2), nranks, WorldOpts::default());
+    let global = field(n);
+    let batch = plan.opts.batch;
+
+    let locals = world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(&plan, rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let mine = scatter(&global, &plan, 0, rank.rank());
+        let mut data = vec![mine; batch];
+        execute(
+            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+        );
+        execute(
+            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+        );
+        data
+    });
+
+    let total = plan.total_elems() as f64;
+    for b in 0..batch {
+        let per_rank: Vec<Vec<C64>> = locals.iter().map(|d| d[b].clone()).collect();
+        let got = gather(&per_rank, &plan, 0);
+        let expect: Vec<C64> = global.iter().map(|v| v.scale(total)).collect();
+        let err = max_abs_diff(&got, &expect);
+        assert!(
+            err < 1e-7 * total,
+            "roundtrip mismatch in batch item {b}: err={err:.3e}"
+        );
+    }
+}
+
+#[test]
+fn pencils_alltoallv_matches_local_fft() {
+    check_forward([8, 8, 8], 4, FftOptions::default());
+    check_forward([12, 8, 10], 6, FftOptions::default());
+}
+
+#[test]
+fn pencils_alltoall_padded_matches_local_fft() {
+    check_forward(
+        [10, 9, 8],
+        6,
+        FftOptions {
+            backend: CommBackend::AllToAll,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn pencils_alltoallw_matches_local_fft() {
+    check_forward(
+        [8, 8, 8],
+        6,
+        FftOptions {
+            backend: CommBackend::AllToAllW,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn pencils_p2p_matches_local_fft() {
+    check_forward(
+        [8, 10, 12],
+        6,
+        FftOptions {
+            backend: CommBackend::P2p,
+            ..FftOptions::default()
+        },
+    );
+    check_forward(
+        [8, 8, 8],
+        4,
+        FftOptions {
+            backend: CommBackend::P2pBlocking,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn slabs_match_local_fft() {
+    check_forward(
+        [8, 8, 8],
+        4,
+        FftOptions {
+            decomp: Decomp::Slabs,
+            ..FftOptions::default()
+        },
+    );
+    check_forward(
+        [8, 8, 8],
+        8,
+        FftOptions {
+            decomp: Decomp::Slabs,
+            io: IoLayout::Matching,
+            backend: CommBackend::P2p,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn bricks_match_local_fft() {
+    check_forward(
+        [8, 8, 8],
+        12,
+        FftOptions {
+            decomp: Decomp::Bricks,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn matching_io_roundtrip() {
+    check_roundtrip(
+        [8, 8, 8],
+        6,
+        FftOptions {
+            io: IoLayout::Matching,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn brick_io_roundtrip_all_backends() {
+    for backend in [
+        CommBackend::AllToAll,
+        CommBackend::AllToAllV,
+        CommBackend::P2p,
+        CommBackend::P2pBlocking,
+    ] {
+        check_roundtrip(
+            [8, 6, 10],
+            6,
+            FftOptions {
+                backend,
+                ..FftOptions::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn single_rank_roundtrip() {
+    check_roundtrip([8, 8, 8], 1, FftOptions::default());
+}
+
+#[test]
+fn prime_rank_count_roundtrip() {
+    check_roundtrip([10, 10, 14], 7, FftOptions::default());
+}
+
+#[test]
+fn grid_shrinking_roundtrip_and_correctness() {
+    check_forward(
+        [8, 8, 8],
+        8,
+        FftOptions {
+            shrink_to: Some(2),
+            ..FftOptions::default()
+        },
+    );
+    check_roundtrip(
+        [8, 8, 8],
+        8,
+        FftOptions {
+            shrink_to: Some(3),
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn batched_transforms_roundtrip() {
+    check_roundtrip(
+        [6, 6, 6],
+        4,
+        FftOptions {
+            batch: 5,
+            pipeline_chunks: 3,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn contiguous_fft_mode_is_numerically_identical() {
+    check_forward(
+        [8, 8, 8],
+        6,
+        FftOptions {
+            contiguous_fft: true,
+            backend: CommBackend::AllToAll,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn non_pow2_domain_with_bluestein_sizes() {
+    // 11 is prime: exercises the Bluestein path inside the distributed FFT.
+    check_forward([11, 6, 9], 6, FftOptions::default());
+}
+
+#[test]
+fn alltoallw_matching_io_roundtrip() {
+    check_roundtrip(
+        [8, 8, 8],
+        6,
+        FftOptions {
+            backend: CommBackend::AllToAllW,
+            io: IoLayout::Matching,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn slabs_with_every_backend() {
+    for backend in [
+        CommBackend::AllToAll,
+        CommBackend::AllToAllV,
+        CommBackend::AllToAllW,
+        CommBackend::P2p,
+        CommBackend::P2pBlocking,
+    ] {
+        check_forward(
+            [8, 8, 8],
+            4,
+            FftOptions {
+                decomp: Decomp::Slabs,
+                backend,
+                ..FftOptions::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn rank_counts_that_do_not_divide_the_domain() {
+    // 5 ranks over 8³: uneven chunks everywhere, pencil grid (1,5).
+    check_roundtrip([8, 8, 8], 5, FftOptions::default());
+    // 9 ranks (3x3 pencil grid) over a domain not divisible by 3.
+    check_forward([8, 10, 8], 9, FftOptions::default());
+}
+
+#[test]
+fn wide_flat_and_tall_domains() {
+    check_forward([32, 2, 2], 4, FftOptions::default());
+    check_forward([2, 2, 32], 4, FftOptions::default());
+    check_forward([2, 32, 2], 4, FftOptions::default());
+}
+
+#[test]
+fn batched_with_p2p_backend() {
+    check_roundtrip(
+        [6, 6, 6],
+        4,
+        FftOptions {
+            backend: CommBackend::P2p,
+            batch: 4,
+            pipeline_chunks: 2,
+            ..FftOptions::default()
+        },
+    );
+}
+
+#[test]
+fn shrink_to_single_rank() {
+    // Extreme shrinking: the whole FFT computed by rank 0.
+    check_roundtrip(
+        [8, 8, 8],
+        6,
+        FftOptions {
+            shrink_to: Some(1),
+            ..FftOptions::default()
+        },
+    );
+}

@@ -1,0 +1,147 @@
+//! Distributed r2c/c2r correctness: against the embedded complex transform
+//! and round trips, plus the half-cost property.
+
+use distfft::plan::FftOptions;
+use distfft::real3d::Real3dPlan;
+use distfft::exec::ExecCtx;
+use distfft::Box3;
+use fftkern::{C64, Direction, Plan3d};
+use mpisim::comm::{Comm, World, WorldOpts};
+use simgrid::MachineSpec;
+
+fn real_field(n: [usize; 3]) -> Vec<f64> {
+    (0..n[0] * n[1] * n[2])
+        .map(|i| (0.17 * i as f64).sin() + 0.4 * (0.53 * i as f64).cos())
+        .collect()
+}
+
+fn scatter_reals(global: &[f64], plan: &Real3dPlan, rank: usize) -> Vec<f64> {
+    let b = plan.real_input_box(rank);
+    let whole = Box3::whole(plan.n);
+    // Box3::extract is C64-typed; do the f64 gather by hand.
+    let mut out = Vec::with_capacity(b.volume());
+    for i0 in b.lo[0]..b.hi[0] {
+        for i1 in b.lo[1]..b.hi[1] {
+            for i2 in b.lo[2]..b.hi[2] {
+                out.push(global[(i0 * plan.n[1] + i1) * plan.n[2] + i2]);
+            }
+        }
+    }
+    let _ = whole;
+    out
+}
+
+#[test]
+fn distributed_r2c_matches_embedded_c2c() {
+    let n = [8usize, 6, 8];
+    let ranks = 6;
+    let plan = Real3dPlan::build(n, ranks, FftOptions::default());
+    let global = real_field(n);
+
+    let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
+    let blocks = world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = plan.bind(rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let mine = scatter_reals(&global, &plan, rank.rank());
+        plan.execute_forward(&bound, &mut ctx, rank, &comm, &mine)
+    });
+
+    // Gather the half spectrum.
+    let mh = [n[0], n[1], plan.h];
+    let whole_h = Box3::whole(mh);
+    let mut got = vec![C64::ZERO; mh[0] * mh[1] * mh[2]];
+    for (r, block) in blocks.iter().enumerate() {
+        let b = plan.spectrum_box(r);
+        if !b.is_empty() {
+            whole_h.deposit(&mut got, &b, block);
+        }
+    }
+
+    // Reference: full complex transform of the embedded reals, truncated to
+    // the non-redundant axis-2 bins.
+    let mut full: Vec<C64> = global.iter().map(|&v| C64::real(v)).collect();
+    Plan3d::new(n[0], n[1], n[2]).execute(&mut full, Direction::Forward);
+    let mut err: f64 = 0.0;
+    for i0 in 0..n[0] {
+        for i1 in 0..n[1] {
+            for k in 0..plan.h {
+                let want = full[(i0 * n[1] + i1) * n[2] + k];
+                let have = got[(i0 * mh[1] + i1) * mh[2] + k];
+                err = err.max((have - want).abs());
+            }
+        }
+    }
+    assert!(err < 1e-8 * (n[0] * n[1] * n[2]) as f64, "r2c error {err}");
+}
+
+#[test]
+fn distributed_r2c_c2r_roundtrip() {
+    let n = [6usize, 8, 10];
+    let ranks = 4;
+    let plan = Real3dPlan::build(n, ranks, FftOptions::default());
+    let global = real_field(n);
+    let norm = plan.normalization();
+
+    let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
+    let errs = world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = plan.bind(rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let mine = scatter_reals(&global, &plan, rank.rank());
+        let spec = plan.execute_forward(&bound, &mut ctx, rank, &comm, &mine);
+        let back = plan.execute_inverse(&bound, &mut ctx, rank, &comm, spec);
+        back.iter()
+            .zip(&mine)
+            .map(|(got, want)| (got / norm - want).abs())
+            .fold(0.0, f64::max)
+    });
+    for (r, e) in errs.iter().enumerate() {
+        assert!(*e < 1e-9, "rank {r} roundtrip error {e}");
+    }
+}
+
+#[test]
+fn r2c_moves_half_the_bytes_of_embedded_c2c() {
+    // The point of true r2c: the packed-domain reshape carries half the
+    // complex volume.
+    let n = [32usize, 32, 32];
+    let ranks = 8;
+    let r2c = Real3dPlan::build(n, ranks, FftOptions::default());
+    let c2c = distfft::plan::FftPlan::build(n, ranks, FftOptions::default());
+    let bytes = |spec: &distfft::reshape::ReshapeSpec| -> usize {
+        (0..ranks).map(|r| spec.offrank_send_bytes(r)).sum()
+    };
+    // First data reshape of each pipeline.
+    let r2c_first = bytes(&r2c.plan_a.reshapes[0]);
+    let c2c_first = bytes(&c2c.reshapes[0]);
+    assert!(
+        r2c_first * 2 <= c2c_first + 16 * ranks,
+        "r2c first reshape {r2c_first} B should be ~half of c2c {c2c_first} B"
+    );
+}
+
+#[test]
+fn r2c_dryrun_cheaper_than_c2c() {
+    let n = [64usize, 64, 64];
+    let ranks = 24;
+    let machine = MachineSpec::summit();
+    let r2c = Real3dPlan::build(n, ranks, FftOptions::default());
+    let t_r2c = r2c.dryrun_forward(&machine, distfft::dryrun::DryRunOpts::default());
+    let c2c = distfft::plan::FftPlan::build(n, ranks, FftOptions::default());
+    let mut runner = distfft::dryrun::DryRunner::new(
+        &c2c,
+        &machine,
+        distfft::dryrun::DryRunOpts::default(),
+    );
+    let t_c2c = runner.run(Direction::Forward).makespan();
+    assert!(
+        t_r2c < t_c2c,
+        "r2c ({t_r2c}) should beat the embedded c2c ({t_c2c})"
+    );
+}
+
+#[test]
+fn odd_n2_rejected() {
+    assert!(Real3dPlan::try_build([8, 8, 7], 4, FftOptions::default()).is_err());
+}

@@ -1,0 +1,64 @@
+//! Failure injection at the distfft level: degraded-GPU behavior.
+
+use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::plan::{FftOptions, FftPlan};
+use fftkern::Direction;
+use simgrid::MachineSpec;
+
+#[test]
+fn slowdown_scales_only_the_target_ranks_kernels() {
+    let machine = MachineSpec::summit();
+    let plan = FftPlan::build([32, 32, 32], 12, FftOptions::default());
+
+    let kernels_of = |slow: Vec<(usize, f64)>, rank: usize| -> u64 {
+        let mut r = DryRunner::new(
+            &plan,
+            &machine,
+            DryRunOpts {
+                compute_slowdown: slow,
+                ..DryRunOpts::default()
+            },
+        );
+        let rep = r.run(Direction::Forward);
+        rep.traces[rank]
+            .kernel_breakdown()
+            .values()
+            .map(|t| t.as_ns())
+            .sum()
+    };
+
+    let healthy = kernels_of(vec![], 5);
+    let slowed = kernels_of(vec![(5, 4.0)], 5);
+    let bystander = kernels_of(vec![(5, 4.0)], 2);
+
+    // The straggler's kernel time scales ~4x (rounding slack allowed).
+    let ratio = slowed as f64 / healthy as f64;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "straggler kernel ratio {ratio:.2}, expected ~4"
+    );
+    // Other ranks' own kernel time is untouched.
+    assert_eq!(bystander, kernels_of(vec![], 2));
+}
+
+#[test]
+fn multiple_stragglers_compound() {
+    let machine = MachineSpec::summit();
+    let plan = FftPlan::build([32, 32, 32], 12, FftOptions::default());
+    let makespan = |slow: Vec<(usize, f64)>| {
+        let mut r = DryRunner::new(
+            &plan,
+            &machine,
+            DryRunOpts {
+                compute_slowdown: slow,
+                ..DryRunOpts::default()
+            },
+        );
+        r.run(Direction::Forward).makespan()
+    };
+    let none = makespan(vec![]);
+    let one = makespan(vec![(0, 8.0)]);
+    let two = makespan(vec![(0, 8.0), (7, 8.0)]);
+    assert!(one > none);
+    assert!(two >= one);
+}

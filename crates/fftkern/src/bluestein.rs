@@ -1,0 +1,199 @@
+//! Bluestein's chirp-z algorithm for arbitrary transform sizes.
+//!
+//! Expresses a DFT of any length `N` (prime included) as a circular
+//! convolution of length `M ≥ 2N-1` with `M` a power of two, so the radix-2
+//! engine does all the heavy lifting. This keeps the local FFT engine total:
+//! any grid dimension a user asks for is supported, like FFTW.
+
+use crate::complex::C64;
+use crate::plan::Direction;
+use crate::radix::Radix2Plan;
+
+/// Precomputed state for an arbitrary-size transform.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    /// Forward chirp `c[j] = e^{-iπ·j²/n}` for `j < n`.
+    chirp: Vec<C64>,
+    /// Forward-direction frequency-domain kernel: FFT of the symmetric
+    /// extension of `conj(chirp)` padded to length `m`.
+    kernel_fwd: Vec<C64>,
+    /// Inverse-direction kernel (chirp conjugated).
+    kernel_inv: Vec<C64>,
+    inner: Radix2Plan,
+}
+
+impl BluesteinPlan {
+    /// Builds a plan for any `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "BluesteinPlan requires n >= 1");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+
+        // chirp[j] = e^{-iπ j²/n}. Reduce j² modulo 2n so the phase argument
+        // stays small and well-conditioned even for large n.
+        let chirp: Vec<C64> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                C64::expi(-std::f64::consts::PI * q as f64 / n as f64)
+            })
+            .collect();
+
+        let build_kernel = |conj: bool| -> Vec<C64> {
+            let mut b = vec![C64::ZERO; m];
+            for j in 0..n {
+                let c = if conj { chirp[j].conj() } else { chirp[j] };
+                b[j] = c;
+                if j > 0 {
+                    b[m - j] = c; // symmetric wrap for negative indices
+                }
+            }
+            inner.execute(&mut b, Direction::Forward);
+            b
+        };
+        // Forward DFT multiplies by chirp; the convolution kernel is the
+        // conjugate chirp (and vice versa for the inverse direction).
+        let kernel_fwd = build_kernel(true);
+        let kernel_inv = build_kernel(false);
+
+        BluesteinPlan {
+            n,
+            m,
+            chirp,
+            kernel_fwd,
+            kernel_inv,
+            inner,
+        }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Length of the internal power-of-two convolution.
+    pub fn conv_len(&self) -> usize {
+        self.m
+    }
+
+    /// In-place unnormalized transform of `data` (length must equal `n`).
+    pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        let mut scratch = vec![C64::ZERO; self.m];
+        self.execute_with_scratch(data, dir, &mut scratch);
+    }
+
+    /// In-place transform reusing a caller-provided convolution buffer of
+    /// at least [`conv_len`](BluesteinPlan::conv_len) elements — avoids the
+    /// per-row allocation in batched executions.
+    pub fn execute_with_scratch(&self, data: &mut [C64], dir: Direction, scratch: &mut [C64]) {
+        assert_eq!(data.len(), self.n);
+        assert!(scratch.len() >= self.m, "scratch smaller than conv_len");
+        if self.n == 1 {
+            return;
+        }
+        let inverse = matches!(dir, Direction::Inverse);
+        let kernel = if inverse {
+            &self.kernel_inv
+        } else {
+            &self.kernel_fwd
+        };
+
+        // a[j] = x[j] · chirp[j]  (conjugated chirp for the inverse).
+        let a: &mut [C64] = &mut scratch[..self.m];
+        for v in a.iter_mut() {
+            *v = C64::ZERO;
+        }
+        for j in 0..self.n {
+            let c = if inverse {
+                self.chirp[j].conj()
+            } else {
+                self.chirp[j]
+            };
+            a[j] = data[j] * c;
+        }
+
+        // Circular convolution via the radix-2 engine.
+        self.inner.execute(a, Direction::Forward);
+        for (av, kv) in a.iter_mut().zip(kernel) {
+            *av *= *kv;
+        }
+        self.inner.execute(a, Direction::Inverse);
+        let scale = 1.0 / self.m as f64;
+
+        // X[k] = chirp[k] · conv[k] / m.
+        for k in 0..self.n {
+            let c = if inverse {
+                self.chirp[k].conj()
+            } else {
+                self.chirp[k]
+            };
+            data[k] = a[k].scale(scale) * c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+    use crate::dft::dft_1d;
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((0.9 * i as f64).cos(), (0.31 * i as f64).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_for_primes_and_odd_sizes() {
+        for n in [1usize, 2, 3, 11, 13, 17, 19, 23, 29, 31, 97, 101] {
+            let plan = BluesteinPlan::new(n);
+            let x = signal(n);
+            let mut fast = x.clone();
+            plan.execute(&mut fast, Direction::Forward);
+            let slow = dft_1d(&x, Direction::Forward);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-7 * (n as f64).max(1.0),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dft_for_composite_non_smooth() {
+        for n in [22usize, 26, 33, 39, 55, 121] {
+            let plan = BluesteinPlan::new(n);
+            let x = signal(n);
+            let mut fast = x.clone();
+            plan.execute(&mut fast, Direction::Forward);
+            let slow = dft_1d(&x, Direction::Forward);
+            assert!(max_abs_diff(&fast, &slow) < 1e-7 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [13usize, 31, 47] {
+            let plan = BluesteinPlan::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            let expected: Vec<C64> = x.iter().map(|v| v.scale(n as f64)).collect();
+            assert!(max_abs_diff(&y, &expected) < 1e-7 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn conv_length_is_padded_power_of_two() {
+        let plan = BluesteinPlan::new(13);
+        assert!(plan.conv_len().is_power_of_two());
+        assert!(plan.conv_len() >= 2 * 13 - 1);
+    }
+}

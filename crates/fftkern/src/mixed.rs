@@ -1,0 +1,235 @@
+//! Mixed-radix Cooley–Tukey transform for smooth sizes (factors 2, 3, 5, 7).
+//!
+//! Real-world FFT grids are rarely pure powers of two (e.g. LAMMPS PPPM picks
+//! grid dimensions with small prime factors), so the local engine handles any
+//! `N = 2^a·3^b·5^c·7^d` directly; everything else goes through Bluestein.
+//!
+//! The implementation is a decimation-in-time recursion: for `N = r·m` the
+//! input is split into `r` stride-`r` subsequences, each transformed at size
+//! `m`, then combined with `X[k] = Σ_q w_N^{qk}·Y_q[k mod m]`. A single
+//! top-size twiddle table serves every level because `w_n = w_N^{N/n}`.
+
+use crate::complex::C64;
+use crate::plan::Direction;
+
+/// Factors `n` into the sequence of radices used by the recursion (largest
+/// factors first keeps the combine loops short at the deep levels).
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot factorize zero");
+    let mut factors = Vec::new();
+    for p in [7usize, 5, 3, 2] {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+    }
+    assert_eq!(n, 1, "factorize called on a non-smooth size");
+    factors
+}
+
+/// Precomputed state for a mixed-radix transform of fixed smooth size.
+#[derive(Debug, Clone)]
+pub struct MixedPlan {
+    n: usize,
+    factors: Vec<usize>,
+    /// `tw[j] = e^{-2πi·j/n}` for `j < n`.
+    twiddles: Vec<C64>,
+}
+
+impl MixedPlan {
+    /// Builds a plan for any smooth `n` (`crate::is_smooth(n)` must hold).
+    pub fn new(n: usize) -> Self {
+        let factors = factorize(n);
+        let twiddles = (0..n)
+            .map(|j| C64::expi(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        MixedPlan { n, factors, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Twiddle lookup: `w_n^{idx}` for forward, its conjugate for inverse.
+    #[inline(always)]
+    fn tw(&self, idx: usize, inverse: bool) -> C64 {
+        let w = self.twiddles[idx % self.n];
+        if inverse {
+            w.conj()
+        } else {
+            w
+        }
+    }
+
+    /// Out-of-place unnormalized transform: reads `input` with the given
+    /// stride, writes `n` contiguous outputs. `scratch` must hold at least
+    /// `n` elements.
+    pub fn execute_strided(
+        &self,
+        input: &[C64],
+        istride: usize,
+        output: &mut [C64],
+        scratch: &mut [C64],
+        dir: Direction,
+    ) {
+        assert!(scratch.len() >= self.n, "scratch too small");
+        assert!(output.len() >= self.n, "output too small");
+        let inverse = matches!(dir, Direction::Inverse);
+        self.rec(input, istride, &mut output[..self.n], scratch, self.n, 0, inverse);
+    }
+
+    /// In-place convenience wrapper around [`execute_strided`].
+    ///
+    /// [`execute_strided`]: MixedPlan::execute_strided
+    pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.n);
+        let mut out = vec![C64::ZERO; self.n];
+        let mut scratch = vec![C64::ZERO; self.n];
+        self.execute_strided(data, 1, &mut out, &mut scratch, dir);
+        data.copy_from_slice(&out);
+    }
+
+    /// Recursive DIT step: transform `len` elements of `input` (stride
+    /// `istride`) into `output[..len]`. `flevel` indexes into the factor
+    /// list; the product of `factors[flevel..]` equals `len`.
+    #[allow(clippy::too_many_arguments)] // private recursion carries its full state
+    fn rec(
+        &self,
+        input: &[C64],
+        istride: usize,
+        output: &mut [C64],
+        scratch: &mut [C64],
+        len: usize,
+        flevel: usize,
+        inverse: bool,
+    ) {
+        if len == 1 {
+            output[0] = input[0];
+            return;
+        }
+        let r = self.factors[flevel];
+        let m = len / r;
+
+        // Transform the r decimated subsequences into output[q*m..][..m].
+        for q in 0..r {
+            self.rec(
+                &input[q * istride..],
+                istride * r,
+                &mut output[q * m..(q + 1) * m],
+                scratch,
+                m,
+                flevel + 1,
+                inverse,
+            );
+        }
+
+        // Combine. Y_q currently lives in output[q*m..]; stage it in scratch
+        // so output can receive X[k] = Σ_q w_len^{qk} Y_q[k mod m].
+        scratch[..len].copy_from_slice(&output[..len]);
+        let tw_scale = self.n / len; // w_len^j == w_n^{j·tw_scale}
+        #[allow(clippy::needless_range_loop)] // k drives twiddle index math, not just output[k]
+        for k in 0..len {
+            let k1 = k % m;
+            let mut acc = scratch[k1]; // q = 0 term, twiddle 1
+            for q in 1..r {
+                let idx = (q * k % len) * tw_scale;
+                acc += scratch[q * m + k1] * self.tw(idx, inverse);
+            }
+            output[k] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+    use crate::dft::dft_1d;
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((1.3 * i as f64).sin(), (0.4 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn factorization_is_descending_and_multiplies_back() {
+        for n in [1usize, 2, 3, 4, 6, 8, 12, 30, 210, 360, 512, 1000] {
+            let f = factorize(n);
+            assert_eq!(f.iter().product::<usize>(), n.max(1));
+            for w in f.windows(2) {
+                assert!(w[0] >= w[1], "factors not descending for {n}: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-smooth")]
+    fn factorize_rejects_primes_above_7() {
+        let _ = factorize(22);
+    }
+
+    #[test]
+    fn matches_dft_for_assorted_smooth_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 6, 10, 12, 15, 21, 35, 36, 60, 105, 120, 210] {
+            let plan = MixedPlan::new(n);
+            let x = signal(n);
+            let mut fast = x.clone();
+            plan.execute(&mut fast, Direction::Forward);
+            let slow = dft_1d(&x, Direction::Forward);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-8 * (n as f64).max(1.0),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [6usize, 30, 84, 100] {
+            let plan = MixedPlan::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            let expected: Vec<C64> = x.iter().map(|v| v.scale(n as f64)).collect();
+            assert!(max_abs_diff(&y, &expected) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn strided_read_matches_gathered_input() {
+        let n = 12;
+        let stride = 3;
+        let plan = MixedPlan::new(n);
+        let backing = signal(n * stride);
+        let gathered: Vec<C64> = (0..n).map(|i| backing[i * stride]).collect();
+
+        let mut out = vec![C64::ZERO; n];
+        let mut scratch = vec![C64::ZERO; n];
+        plan.execute_strided(&backing, stride, &mut out, &mut scratch, Direction::Forward);
+
+        let reference = dft_1d(&gathered, Direction::Forward);
+        assert!(max_abs_diff(&out, &reference) < 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn pow2_agrees_with_radix2() {
+        use crate::radix::Radix2Plan;
+        let n = 64;
+        let mp = MixedPlan::new(n);
+        let rp = Radix2Plan::new(n);
+        let x = signal(n);
+        let mut a = x.clone();
+        let mut b = x;
+        mp.execute(&mut a, Direction::Forward);
+        rp.execute(&mut b, Direction::Forward);
+        assert!(max_abs_diff(&a, &b) < 1e-9 * n as f64);
+    }
+}

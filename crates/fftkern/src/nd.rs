@@ -1,0 +1,107 @@
+//! Convenience entry points and spectral utilities over whole arrays.
+
+use crate::complex::C64;
+use crate::plan::{Direction, Plan1d, Plan2d, Plan3d};
+
+/// One-shot in-place 1-D transform (builds a throwaway plan).
+pub fn fft_1d(data: &mut [C64], dir: Direction) {
+    let plan = Plan1d::contiguous(data.len(), 1);
+    plan.execute_inplace(data, dir);
+}
+
+/// One-shot in-place 2-D transform of a row-major `n0 × n1` array.
+pub fn fft_2d(data: &mut [C64], n0: usize, n1: usize, dir: Direction) {
+    Plan2d::new(n0, n1).execute(data, dir);
+}
+
+/// One-shot in-place 3-D transform of a row-major `n0 × n1 × n2` array.
+pub fn fft_3d(data: &mut [C64], n0: usize, n1: usize, n2: usize, dir: Direction) {
+    Plan3d::new(n0, n1, n2).execute(data, dir);
+}
+
+/// Applies the `1/N` normalization that turns the unnormalized inverse into a
+/// true inverse.
+pub fn normalize(data: &mut [C64], total_size: usize) {
+    let s = 1.0 / total_size as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(s);
+    }
+}
+
+/// Sum of squared magnitudes — the "energy" side of Parseval's theorem:
+/// `Σ|x[n]|² = (1/N)·Σ|X[k]|²` for an unnormalized forward transform.
+pub fn energy(data: &[C64]) -> f64 {
+    data.iter().map(|v| v.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((0.11 * i as f64).sin(), (0.07 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn normalized_roundtrip_is_identity() {
+        let mut x = signal(60);
+        let orig = x.clone();
+        fft_1d(&mut x, Direction::Forward);
+        fft_1d(&mut x, Direction::Inverse);
+        normalize(&mut x, 60);
+        assert!(max_abs_diff(&x, &orig) < 1e-10 * 60.0);
+    }
+
+    #[test]
+    fn parseval_holds_1d() {
+        let x = signal(128);
+        let time_energy = energy(&x);
+        let mut spec = x;
+        fft_1d(&mut spec, Direction::Forward);
+        let freq_energy = energy(&spec) / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn parseval_holds_3d() {
+        let (a, b, c) = (4usize, 5usize, 8usize);
+        let x = signal(a * b * c);
+        let time_energy = energy(&x);
+        let mut spec = x;
+        fft_3d(&mut spec, a, b, c, Direction::Forward);
+        let freq_energy = energy(&spec) / (a * b * c) as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn fft_2d_roundtrip() {
+        let (a, b) = (6usize, 10usize);
+        let x = signal(a * b);
+        let mut y = x.clone();
+        fft_2d(&mut y, a, b, Direction::Forward);
+        fft_2d(&mut y, a, b, Direction::Inverse);
+        normalize(&mut y, a * b);
+        assert!(max_abs_diff(&y, &x) < 1e-9 * (a * b) as f64);
+    }
+
+    #[test]
+    fn linearity_of_fft() {
+        let n = 48;
+        let x = signal(n);
+        let y: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let alpha = C64::new(2.0, -0.5);
+
+        let mut combo: Vec<C64> = x.iter().zip(&y).map(|(a, b)| *a * alpha + *b).collect();
+        fft_1d(&mut combo, Direction::Forward);
+
+        let mut fx = x;
+        fft_1d(&mut fx, Direction::Forward);
+        let mut fy = y;
+        fft_1d(&mut fy, Direction::Forward);
+        let expect: Vec<C64> = fx.iter().zip(&fy).map(|(a, b)| *a * alpha + *b).collect();
+        assert!(max_abs_diff(&combo, &expect) < 1e-8 * n as f64);
+    }
+}

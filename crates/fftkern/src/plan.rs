@@ -1,0 +1,472 @@
+//! Batched, strided 1-D transform plans — the `cufftPlanMany` equivalent.
+//!
+//! Distributed FFT libraries compute "a batch of 1-D FFTs" between every
+//! communication phase (paper, Algorithm 1, line 8). Whether that batch reads
+//! *contiguous* (transposed) or *strided* data is one of the tuning knobs the
+//! paper studies (Figs. 6, 7, 10), so the plan records input/output stride and
+//! distance exactly as cuFFT's advanced data layout does.
+
+use crate::bluestein::BluesteinPlan;
+use crate::complex::C64;
+use crate::mixed::MixedPlan;
+use crate::radix::Radix2Plan;
+
+/// Transform direction. Both are unnormalized (cuFFT/FFTW convention): a
+/// forward followed by an inverse multiplies the data by `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `e^{-2πi…}` kernel — the paper's "Forward FFT".
+    Forward,
+    /// `e^{+2πi…}` kernel — the paper's "Inverse FFT" (unnormalized).
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent: `-1` forward, `+1` inverse.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+/// Algorithm selected for a given length.
+#[derive(Debug, Clone)]
+enum Algo {
+    Radix2(Radix2Plan),
+    Mixed(MixedPlan),
+    Bluestein(BluesteinPlan),
+}
+
+impl Algo {
+    fn for_len(n: usize) -> Algo {
+        if n.is_power_of_two() {
+            Algo::Radix2(Radix2Plan::new(n))
+        } else if crate::is_smooth(n) {
+            Algo::Mixed(MixedPlan::new(n))
+        } else {
+            Algo::Bluestein(BluesteinPlan::new(n))
+        }
+    }
+
+    /// Scratch sizes (elements) this algorithm needs per transform:
+    /// `(out_buf, aux_buf)`.
+    fn scratch_len(&self) -> (usize, usize) {
+        match self {
+            Algo::Radix2(_) => (0, 0),
+            Algo::Mixed(p) => (p.len(), p.len()),
+            Algo::Bluestein(p) => (p.conv_len(), 0),
+        }
+    }
+
+    /// Executes one transform reusing caller-provided scratch (sized by
+    /// [`scratch_len`](Algo::scratch_len)) — no allocation per row, which
+    /// matters in batched executions of non-power-of-two lengths.
+    fn execute_scratch(&self, data: &mut [C64], dir: Direction, a: &mut [C64], b: &mut [C64]) {
+        match self {
+            Algo::Radix2(p) => p.execute(data, dir),
+            Algo::Mixed(p) => {
+                p.execute_strided(data, 1, a, b, dir);
+                data.copy_from_slice(&a[..data.len()]);
+            }
+            Algo::Bluestein(p) => p.execute_with_scratch(data, dir, a),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Algo::Radix2(_) => "radix2",
+            Algo::Mixed(_) => "mixed-radix",
+            Algo::Bluestein(_) => "bluestein",
+        }
+    }
+}
+
+/// Advanced data layout for a batch of 1-D transforms, mirroring
+/// `cufftPlanMany`: element `j` of batch `b` is read at
+/// `b·idist + j·istride` and written at `b·odist + k·ostride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Stride between successive elements of one transform.
+    pub stride: usize,
+    /// Distance between the first elements of successive transforms.
+    pub dist: usize,
+}
+
+impl Layout {
+    /// Contiguous rows: stride 1, rows packed back to back.
+    pub fn contiguous(n: usize) -> Layout {
+        Layout { stride: 1, dist: n }
+    }
+
+    /// Strided columns: elements `stride` apart, consecutive transforms
+    /// starting at consecutive offsets (the classic transposed access).
+    pub fn strided(stride: usize) -> Layout {
+        Layout { stride, dist: 1 }
+    }
+
+    /// True when the layout reads/writes contiguous memory (`stride == 1`).
+    pub fn is_contiguous(&self) -> bool {
+        self.stride == 1
+    }
+}
+
+/// A batched, strided 1-D transform plan of fixed size.
+///
+/// ```
+/// use fftkern::{Direction, C64};
+/// use fftkern::plan::Plan1d;
+/// // Two contiguous 8-point transforms, executed in place.
+/// let plan = Plan1d::contiguous(8, 2);
+/// let mut data = vec![C64::ONE; 16];
+/// plan.execute_inplace(&mut data, Direction::Forward);
+/// // FFT of a constant: all energy in the DC bin of each row.
+/// assert_eq!(data[0], C64::real(8.0));
+/// assert_eq!(data[8], C64::real(8.0));
+/// assert_eq!(data[1], C64::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan1d {
+    n: usize,
+    batch: usize,
+    input: Layout,
+    output: Layout,
+    algo: Algo,
+}
+
+impl Plan1d {
+    /// Builds a plan for `batch` transforms of length `n` with explicit
+    /// input/output layouts.
+    pub fn with_layout(n: usize, batch: usize, input: Layout, output: Layout) -> Plan1d {
+        assert!(n > 0, "transform length must be positive");
+        Plan1d {
+            n,
+            batch,
+            input,
+            output,
+            algo: Algo::for_len(n),
+        }
+    }
+
+    /// Builds a plan for `batch` contiguous transforms of length `n`.
+    pub fn contiguous(n: usize, batch: usize) -> Plan1d {
+        Plan1d::with_layout(n, batch, Layout::contiguous(n), Layout::contiguous(n))
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Number of transforms per execution.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Input layout.
+    pub fn input_layout(&self) -> Layout {
+        self.input
+    }
+
+    /// Output layout.
+    pub fn output_layout(&self) -> Layout {
+        self.output
+    }
+
+    /// Name of the algorithm chosen for this length (for traces and tests).
+    pub fn algo_name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    /// Minimum input buffer length required by the layout.
+    pub fn required_input_len(&self) -> usize {
+        if self.batch == 0 {
+            return 0;
+        }
+        (self.batch - 1) * self.input.dist + (self.n - 1) * self.input.stride + 1
+    }
+
+    /// Minimum output buffer length required by the layout.
+    pub fn required_output_len(&self) -> usize {
+        if self.batch == 0 {
+            return 0;
+        }
+        (self.batch - 1) * self.output.dist + (self.n - 1) * self.output.stride + 1
+    }
+
+    /// Executes the batch out of place.
+    pub fn execute(&self, input: &[C64], output: &mut [C64], dir: Direction) {
+        assert!(
+            input.len() >= self.required_input_len(),
+            "input buffer too small: {} < {}",
+            input.len(),
+            self.required_input_len()
+        );
+        assert!(
+            output.len() >= self.required_output_len(),
+            "output buffer too small: {} < {}",
+            output.len(),
+            self.required_output_len()
+        );
+        let (la, lb) = self.algo.scratch_len();
+        let mut sa = vec![C64::ZERO; la];
+        let mut sb = vec![C64::ZERO; lb];
+        let mut row = vec![C64::ZERO; self.n];
+        for b in 0..self.batch {
+            let ibase = b * self.input.dist;
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = input[ibase + j * self.input.stride];
+            }
+            self.algo.execute_scratch(&mut row, dir, &mut sa, &mut sb);
+            let obase = b * self.output.dist;
+            for (k, r) in row.iter().enumerate() {
+                output[obase + k * self.output.stride] = *r;
+            }
+        }
+    }
+
+    /// Executes the batch in place (input and output layouts must describe
+    /// non-overlapping transforms within the same buffer; the common cases —
+    /// identical layouts — always qualify).
+    pub fn execute_inplace(&self, data: &mut [C64], dir: Direction) {
+        assert!(
+            data.len() >= self.required_input_len().max(self.required_output_len()),
+            "buffer too small for in-place batch"
+        );
+        let (la, lb) = self.algo.scratch_len();
+        let mut sa = vec![C64::ZERO; la];
+        let mut sb = vec![C64::ZERO; lb];
+        let mut row = vec![C64::ZERO; self.n];
+        for b in 0..self.batch {
+            let ibase = b * self.input.dist;
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = data[ibase + j * self.input.stride];
+            }
+            self.algo.execute_scratch(&mut row, dir, &mut sa, &mut sb);
+            let obase = b * self.output.dist;
+            for (k, r) in row.iter().enumerate() {
+                data[obase + k * self.output.stride] = *r;
+            }
+        }
+    }
+}
+
+/// A 2-D transform plan over a row-major `n0 × n1` array (n1 fastest).
+#[derive(Debug, Clone)]
+pub struct Plan2d {
+    n0: usize,
+    n1: usize,
+    rows: Plan1d,
+    cols: Plan1d,
+}
+
+impl Plan2d {
+    /// Builds a plan for an `n0 × n1` row-major array.
+    pub fn new(n0: usize, n1: usize) -> Plan2d {
+        // Rows along axis 1 are contiguous; columns along axis 0 are strided.
+        let rows = Plan1d::contiguous(n1, n0);
+        let cols = Plan1d::with_layout(n0, n1, Layout::strided(n1), Layout::strided(n1));
+        Plan2d { n0, n1, rows, cols }
+    }
+
+    /// Array shape `(n0, n1)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n0, self.n1)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n0 * self.n1
+    }
+
+    /// True for an empty plan (any zero extent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place unnormalized 2-D transform.
+    pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "buffer does not match plan shape");
+        self.rows.execute_inplace(data, dir);
+        self.cols.execute_inplace(data, dir);
+    }
+}
+
+/// A 3-D transform plan over a row-major `n0 × n1 × n2` array (n2 fastest).
+#[derive(Debug, Clone)]
+pub struct Plan3d {
+    n0: usize,
+    n1: usize,
+    n2: usize,
+    axis2: Plan1d,
+    axis1: Plan1d,
+    axis0: Plan1d,
+}
+
+impl Plan3d {
+    /// Builds a plan for an `n0 × n1 × n2` row-major array.
+    pub fn new(n0: usize, n1: usize, n2: usize) -> Plan3d {
+        // Axis 2: contiguous rows, one batch over the whole volume.
+        let axis2 = Plan1d::contiguous(n2, n0 * n1);
+        // Axis 1: stride n2 within one i0-plane; executed per plane below.
+        let axis1 = Plan1d::with_layout(n1, n2, Layout::strided(n2), Layout::strided(n2));
+        // Axis 0: stride n1·n2, batch over all (i1, i2) pairs.
+        let axis0 = Plan1d::with_layout(
+            n0,
+            n1 * n2,
+            Layout::strided(n1 * n2),
+            Layout::strided(n1 * n2),
+        );
+        Plan3d {
+            n0,
+            n1,
+            n2,
+            axis2,
+            axis1,
+            axis0,
+        }
+    }
+
+    /// Array shape `(n0, n1, n2)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.n0, self.n1, self.n2)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n0 * self.n1 * self.n2
+    }
+
+    /// True for an empty plan (any zero extent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place unnormalized 3-D transform.
+    pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.len(), "buffer does not match plan shape");
+        self.axis2.execute_inplace(data, dir);
+        let plane = self.n1 * self.n2;
+        for i0 in 0..self.n0 {
+            self.axis1
+                .execute_inplace(&mut data[i0 * plane..(i0 + 1) * plane], dir);
+        }
+        self.axis0.execute_inplace(data, dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+    use crate::dft::{dft_1d, dft_nd};
+
+    fn signal(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::new((0.23 * i as f64).sin(), (1.7 * i as f64).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn algorithm_selection() {
+        assert_eq!(Plan1d::contiguous(64, 1).algo_name(), "radix2");
+        assert_eq!(Plan1d::contiguous(60, 1).algo_name(), "mixed-radix");
+        assert_eq!(Plan1d::contiguous(13, 1).algo_name(), "bluestein");
+    }
+
+    #[test]
+    fn batched_contiguous_matches_per_row_dft() {
+        let (n, batch) = (16, 5);
+        let plan = Plan1d::contiguous(n, batch);
+        let input = signal(n * batch);
+        let mut output = vec![C64::ZERO; n * batch];
+        plan.execute(&input, &mut output, Direction::Forward);
+        for b in 0..batch {
+            let reference = dft_1d(&input[b * n..(b + 1) * n], Direction::Forward);
+            assert!(max_abs_diff(&output[b * n..(b + 1) * n], &reference) < 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn strided_batch_transforms_columns() {
+        // A 4×8 row-major matrix; transform its 8 columns (length 4, stride 8).
+        let (rows, cols) = (4usize, 8usize);
+        let data = signal(rows * cols);
+        let plan = Plan1d::with_layout(rows, cols, Layout::strided(cols), Layout::strided(cols));
+        let mut out = vec![C64::ZERO; rows * cols];
+        plan.execute(&data, &mut out, Direction::Forward);
+        for c in 0..cols {
+            let col: Vec<C64> = (0..rows).map(|r| data[r * cols + c]).collect();
+            let reference = dft_1d(&col, Direction::Forward);
+            let got: Vec<C64> = (0..rows).map(|r| out[r * cols + c]).collect();
+            assert!(max_abs_diff(&got, &reference) < 1e-9 * rows as f64);
+        }
+    }
+
+    #[test]
+    fn required_lengths() {
+        let plan = Plan1d::with_layout(4, 3, Layout::strided(8), Layout::contiguous(4));
+        // input: (3-1)*1 + (4-1)*8 + 1 = 27
+        assert_eq!(plan.required_input_len(), 27);
+        // output: (3-1)*4 + (4-1)*1 + 1 = 12
+        assert_eq!(plan.required_output_len(), 12);
+        let empty = Plan1d::contiguous(4, 0);
+        assert_eq!(empty.required_input_len(), 0);
+    }
+
+    #[test]
+    fn plan2d_matches_nd_dft() {
+        let (n0, n1) = (6, 8);
+        let plan = Plan2d::new(n0, n1);
+        let x = signal(n0 * n1);
+        let mut fast = x.clone();
+        plan.execute(&mut fast, Direction::Forward);
+        let slow = dft_nd(&x, &[n0, n1], Direction::Forward);
+        assert!(max_abs_diff(&fast, &slow) < 1e-8 * (n0 * n1) as f64);
+    }
+
+    #[test]
+    fn plan3d_matches_nd_dft() {
+        let dims = (4usize, 6usize, 8usize);
+        let plan = Plan3d::new(dims.0, dims.1, dims.2);
+        let x = signal(dims.0 * dims.1 * dims.2);
+        let mut fast = x.clone();
+        plan.execute(&mut fast, Direction::Forward);
+        let slow = dft_nd(&x, &[dims.0, dims.1, dims.2], Direction::Forward);
+        assert!(max_abs_diff(&fast, &slow) < 1e-8 * plan.len() as f64);
+    }
+
+    #[test]
+    fn plan3d_roundtrip() {
+        let plan = Plan3d::new(8, 8, 8);
+        let x = signal(512);
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        plan.execute(&mut y, Direction::Inverse);
+        let expected: Vec<C64> = x.iter().map(|v| v.scale(512.0)).collect();
+        assert!(max_abs_diff(&y, &expected) < 1e-7 * 512.0);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Inverse);
+        assert_eq!(Direction::Inverse.flip(), Direction::Forward);
+        assert_eq!(Direction::Forward.sign(), -1.0);
+    }
+}

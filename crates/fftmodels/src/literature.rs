@@ -1,0 +1,106 @@
+//! The three literature communication models the paper surveys (§III):
+//!
+//! * Gholami et al. (AccFFT): `T = O(N/σ(P))` with `σ(P)` the bisection
+//!   bandwidth of the network;
+//! * Chatterjee et al.: regression `T = c·n^{−γ}` fitted on measured
+//!   (nodes, time) points (developed on Shaheen II);
+//! * Czechowski et al.: exascale lower bound `T = Ω(N/(Π^{5/6}·B))` for a
+//!   3-D torus.
+
+/// AccFFT-style estimate: `16·N / σ(P)` seconds, with `bisection_bps` the
+/// bisection bandwidth in bytes/s.
+pub fn bisection_model(n_elems: f64, bisection_bps: f64) -> f64 {
+    16.0 * n_elems / bisection_bps
+}
+
+/// Bisection bandwidth of a full-bisection (non-blocking fat tree) cluster:
+/// half the nodes can talk to the other half at full NIC rate.
+pub fn fat_tree_bisection_bps(nodes: usize, nic_bps: f64) -> f64 {
+    (nodes as f64 / 2.0).max(1.0) * nic_bps
+}
+
+/// Least-squares fit of `T = c·n^{−γ}` on `(n, t)` samples (log–log linear
+/// regression). Returns `(c, gamma)`.
+pub fn fit_power_law(samples: &[(f64, f64)]) -> (f64, f64) {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let m = samples.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(n, t) in samples {
+        assert!(n > 0.0 && t > 0.0, "power-law fit needs positive samples");
+        let x = n.ln();
+        let y = t.ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / m;
+    (intercept.exp(), -slope)
+}
+
+/// Evaluates the fitted power law at `n` nodes.
+pub fn power_law(c: f64, gamma: f64, n: f64) -> f64 {
+    c * n.powf(-gamma)
+}
+
+/// Czechowski et al. lower bound: `N/(Π^{5/6}·B)` seconds with `b_bps` the
+/// per-link bandwidth in bytes/s (elements counted in bytes via the factor
+/// 16).
+pub fn torus_lower_bound(n_elems: f64, pi: usize, b_bps: f64) -> f64 {
+    16.0 * n_elems / ((pi as f64).powf(5.0 / 6.0) * b_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_scales_inverse_with_nodes() {
+        let n = 512f64.powi(3);
+        let t2 = bisection_model(n, fat_tree_bisection_bps(2, 23.5e9));
+        let t64 = bisection_model(n, fat_tree_bisection_bps(64, 23.5e9));
+        assert!((t2 / t64 - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_params() {
+        let (c0, g0) = (3.5, 0.8);
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 64.0]
+            .iter()
+            .map(|&n| (n, power_law(c0, g0, n)))
+            .collect();
+        let (c, g) = fit_power_law(&samples);
+        assert!((c - c0).abs() < 1e-9, "c = {c}");
+        assert!((g - g0).abs() < 1e-9, "gamma = {g}");
+    }
+
+    #[test]
+    fn power_law_fit_handles_noisy_data() {
+        let samples = vec![(1.0, 10.0), (2.0, 5.5), (4.0, 2.6), (8.0, 1.4)];
+        let (c, g) = fit_power_law(&samples);
+        assert!(g > 0.8 && g < 1.2, "gamma = {g}");
+        assert!(c > 8.0 && c < 12.0, "c = {c}");
+    }
+
+    #[test]
+    fn lower_bound_is_below_bisection_estimate() {
+        // The Ω bound should undercut practical estimates at scale.
+        let n = 512f64.powi(3);
+        for pi in [96usize, 768, 3072] {
+            let lb = torus_lower_bound(n, pi, 23.5e9);
+            let practical = bisection_model(n, fat_tree_bisection_bps(pi / 6, 23.5e9));
+            assert!(lb > 0.0);
+            assert!(
+                lb < practical * 10.0,
+                "bound {lb} wildly above practical {practical}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_decreases_with_scale() {
+        let n = 512f64.powi(3);
+        assert!(torus_lower_bound(n, 3072, 23.5e9) < torus_lower_bound(n, 96, 23.5e9));
+    }
+}

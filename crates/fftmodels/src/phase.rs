@@ -1,0 +1,122 @@
+//! Phase diagram: the model-predicted fastest decomposition per
+//! (transform size, node count) — the paper's §IV-A methodology.
+
+use distfft::procgrid::closest_factor_pair;
+use distfft::Decomp;
+
+use crate::bandwidth::{t_pencils, t_slabs, ModelParams};
+
+/// One point of the phase diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePoint {
+    /// Number of ranks (1 per GPU).
+    pub ranks: usize,
+    /// Model-predicted slab communication time (None if infeasible).
+    pub t_slabs: Option<f64>,
+    /// Model-predicted pencil communication time.
+    pub t_pencils: f64,
+    /// Predicted winner.
+    pub best: Decomp,
+}
+
+/// Predicts the fastest decomposition for an `n[0]×n[1]×n[2]` transform over
+/// `ranks` ranks using equations (2)/(3). Slabs are infeasible past the
+/// paper's `N₂`-process limit.
+pub fn predict_decomp(n: [usize; 3], ranks: usize, params: &ModelParams) -> PhasePoint {
+    let n_total = (n[0] * n[1] * n[2]) as f64;
+    let (p, q) = closest_factor_pair(ranks);
+    let tp = t_pencils(n_total, p, q, params);
+    let ts = if ranks <= n[1] && ranks <= n[0] && ranks > 1 {
+        Some(t_slabs(n_total, ranks, params))
+    } else if ranks == 1 {
+        Some(0.0)
+    } else {
+        None
+    };
+    let best = match ts {
+        Some(t) if t <= tp => Decomp::Slabs,
+        _ => Decomp::Pencils,
+    };
+    PhasePoint {
+        ranks,
+        t_slabs: ts,
+        t_pencils: tp,
+        best,
+    }
+}
+
+/// Builds a phase diagram over a sweep of rank counts.
+pub fn phase_diagram(n: [usize; 3], rank_counts: &[usize], params: &ModelParams) -> Vec<PhasePoint> {
+    rank_counts
+        .iter()
+        .map(|&r| predict_decomp(n, r, params))
+        .collect()
+}
+
+/// The smallest rank count in `rank_counts` at which pencils overtake slabs
+/// (the crossover of Fig. 5), if any.
+pub fn crossover_ranks(
+    n: [usize; 3],
+    rank_counts: &[usize],
+    params: &ModelParams,
+) -> Option<usize> {
+    phase_diagram(n, rank_counts, params)
+        .iter()
+        .find(|pt| pt.best == Decomp::Pencils)
+        .map(|pt| pt.ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: [usize; 3] = [512, 512, 512];
+
+    fn summit_counts() -> Vec<usize> {
+        // 1..=512 Summit nodes, 6 GPUs each (Table III plus two more rows).
+        vec![6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072]
+    }
+
+    #[test]
+    fn crossover_is_at_64_nodes_for_512_cubed() {
+        // §IV-A: "the slabs decomposition should be faster than the pencil
+        // approach when using less than 64 nodes" (64 nodes = 384 ranks).
+        let cross = crossover_ranks(N, &summit_counts(), &ModelParams::summit());
+        assert_eq!(cross, Some(384));
+    }
+
+    #[test]
+    fn slabs_infeasible_past_n2_limit() {
+        let pt = predict_decomp(N, 768, &ModelParams::summit());
+        assert!(pt.t_slabs.is_none());
+        assert_eq!(pt.best, Decomp::Pencils);
+    }
+
+    #[test]
+    fn single_rank_trivially_slab() {
+        let pt = predict_decomp(N, 1, &ModelParams::summit());
+        assert_eq!(pt.best, Decomp::Slabs);
+        assert_eq!(pt.t_slabs, Some(0.0));
+    }
+
+    #[test]
+    fn smaller_transforms_cross_over_earlier() {
+        // For a small 64³ transform latency dominates sooner: slabs pay
+        // (Π−1) latency terms vs (P+Q−2) for pencils, so pencils take over
+        // at 24 ranks already (hand-checked against equations (2)/(3)),
+        // far earlier than the 384-rank crossover of 512³.
+        let params = ModelParams::summit();
+        let counts = summit_counts();
+        let cross_big = crossover_ranks(N, &counts, &params);
+        let cross_small = crossover_ranks([64, 64, 64], &counts, &params);
+        assert_eq!(cross_small, Some(24));
+        assert!(cross_small.unwrap() < cross_big.unwrap());
+    }
+
+    #[test]
+    fn diagram_covers_all_requested_points() {
+        let d = phase_diagram(N, &summit_counts(), &ModelParams::summit());
+        assert_eq!(d.len(), 10);
+        assert!(d.iter().all(|p| p.t_pencils > 0.0));
+    }
+}

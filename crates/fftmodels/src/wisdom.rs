@@ -1,0 +1,343 @@
+//! Persistent tuning cache ("wisdom", after FFTW's term).
+//!
+//! Tuning dry-runs every candidate configuration (§IV), which is cheap on
+//! the simulator but — like real autotuning — worth caching across runs.
+//! [`Wisdom`] memoizes [`tune`](crate::tuner::tune) results keyed by
+//! (machine, transform size, rank count) and round-trips through a plain
+//! text format (one entry per line), so no serialization dependency is
+//! needed.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use distfft::plan::{CommBackend, FftOptions, IoLayout};
+use distfft::Decomp;
+use simgrid::{MachineSpec, SimTime};
+
+use crate::tuner::{tune, TunedChoice};
+
+/// Cache key: machine name + transform extents + rank count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WisdomKey {
+    /// Machine preset name ("Summit", "Spock", …).
+    pub machine: String,
+    /// Transform extents.
+    pub n: [usize; 3],
+    /// World size.
+    pub ranks: usize,
+}
+
+/// One remembered tuning outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WisdomEntry {
+    /// Winning decomposition.
+    pub decomp: Decomp,
+    /// Winning exchange backend.
+    pub backend: CommBackend,
+    /// Winning GPU-awareness setting.
+    pub gpu_aware: bool,
+    /// Predicted per-transform time at tuning time.
+    pub time: SimTime,
+}
+
+impl WisdomEntry {
+    /// Reconstructs the plan options this entry stands for.
+    pub fn options(&self) -> FftOptions {
+        FftOptions {
+            decomp: self.decomp,
+            backend: self.backend,
+            io: IoLayout::Brick,
+            ..FftOptions::default()
+        }
+    }
+}
+
+/// The cache.
+#[derive(Debug, Clone, Default)]
+pub struct Wisdom {
+    entries: HashMap<WisdomKey, WisdomEntry>,
+}
+
+fn decomp_tag(d: Decomp) -> &'static str {
+    match d {
+        Decomp::Slabs => "slabs",
+        Decomp::Pencils => "pencils",
+        Decomp::Bricks => "bricks",
+    }
+}
+
+fn decomp_from(tag: &str) -> Option<Decomp> {
+    Some(match tag {
+        "slabs" => Decomp::Slabs,
+        "pencils" => Decomp::Pencils,
+        "bricks" => Decomp::Bricks,
+        _ => return None,
+    })
+}
+
+fn backend_tag(b: CommBackend) -> &'static str {
+    match b {
+        CommBackend::AllToAll => "a2a",
+        CommBackend::AllToAllV => "a2av",
+        CommBackend::AllToAllW => "a2aw",
+        CommBackend::P2p => "p2p",
+        CommBackend::P2pBlocking => "p2pb",
+    }
+}
+
+fn backend_from(tag: &str) -> Option<CommBackend> {
+    Some(match tag {
+        "a2a" => CommBackend::AllToAll,
+        "a2av" => CommBackend::AllToAllV,
+        "a2aw" => CommBackend::AllToAllW,
+        "p2p" => CommBackend::P2p,
+        "p2pb" => CommBackend::P2pBlocking,
+        _ => return None,
+    })
+}
+
+impl Wisdom {
+    /// An empty cache.
+    pub fn new() -> Wisdom {
+        Wisdom::default()
+    }
+
+    /// Number of remembered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a remembered outcome.
+    pub fn lookup(&self, machine: &MachineSpec, n: [usize; 3], ranks: usize) -> Option<&WisdomEntry> {
+        self.entries.get(&WisdomKey {
+            machine: machine.name.to_string(),
+            n,
+            ranks,
+        })
+    }
+
+    /// Records an outcome. Machine names must be whitespace-free (the text
+    /// format is space-separated); all built-in presets are.
+    pub fn insert(&mut self, machine: &MachineSpec, n: [usize; 3], ranks: usize, e: WisdomEntry) {
+        assert!(
+            !machine.name.contains(char::is_whitespace),
+            "machine name '{}' would corrupt the wisdom text format",
+            machine.name
+        );
+        self.entries.insert(
+            WisdomKey {
+                machine: machine.name.to_string(),
+                n,
+                ranks,
+            },
+            e,
+        );
+    }
+
+    /// Returns the cached choice or runs the tuner and remembers the result.
+    pub fn tune_cached(
+        &mut self,
+        machine: &MachineSpec,
+        n: [usize; 3],
+        ranks: usize,
+    ) -> WisdomEntry {
+        if let Some(e) = self.lookup(machine, n, ranks) {
+            return e.clone();
+        }
+        let TunedChoice {
+            opts,
+            gpu_aware,
+            time,
+            ..
+        } = tune(machine, n, ranks);
+        let entry = WisdomEntry {
+            decomp: opts.decomp,
+            backend: opts.backend,
+            gpu_aware,
+            time,
+        };
+        self.insert(machine, n, ranks, entry.clone());
+        entry
+    }
+
+    /// Serializes to the line format:
+    /// `machine n0 n1 n2 ranks decomp backend aware time_ns`.
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{} {} {} {} {} {} {} {} {}",
+                    k.machine,
+                    k.n[0],
+                    k.n[1],
+                    k.n[2],
+                    k.ranks,
+                    decomp_tag(e.decomp),
+                    backend_tag(e.backend),
+                    u8::from(e.gpu_aware),
+                    e.time.as_ns()
+                );
+                s
+            })
+            .collect();
+        lines.sort_unstable();
+        let mut out = String::from("# fft wisdom v1\n");
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the line format, ignoring comments and malformed lines
+    /// (forward-compatible, like FFTW wisdom).
+    pub fn from_text(text: &str) -> Wisdom {
+        let mut w = Wisdom::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() != 9 {
+                continue;
+            }
+            let (Ok(n0), Ok(n1), Ok(n2), Ok(ranks), Ok(aware), Ok(ns)) = (
+                f[1].parse::<usize>(),
+                f[2].parse::<usize>(),
+                f[3].parse::<usize>(),
+                f[4].parse::<usize>(),
+                f[7].parse::<u8>(),
+                f[8].parse::<u64>(),
+            ) else {
+                continue;
+            };
+            let (Some(decomp), Some(backend)) = (decomp_from(f[5]), backend_from(f[6])) else {
+                continue;
+            };
+            w.entries.insert(
+                WisdomKey {
+                    machine: f[0].to_string(),
+                    n: [n0, n1, n2],
+                    ranks,
+                },
+                WisdomEntry {
+                    decomp,
+                    backend,
+                    gpu_aware: aware != 0,
+                    time: SimTime::from_ns(ns),
+                },
+            );
+        }
+        w
+    }
+
+    /// Writes the cache to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a cache from a file.
+    pub fn load(path: &Path) -> std::io::Result<Wisdom> {
+        Ok(Wisdom::from_text(&std::fs::read_to_string(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> WisdomEntry {
+        WisdomEntry {
+            decomp: Decomp::Slabs,
+            backend: CommBackend::AllToAllV,
+            gpu_aware: true,
+            time: SimTime::from_us(123),
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let summit = MachineSpec::summit();
+        let spock = MachineSpec::spock();
+        let mut w = Wisdom::new();
+        w.insert(&summit, [512, 512, 512], 192, entry());
+        w.insert(
+            &spock,
+            [64, 64, 64],
+            16,
+            WisdomEntry {
+                decomp: Decomp::Pencils,
+                backend: CommBackend::P2p,
+                gpu_aware: false,
+                time: SimTime::from_ns(999),
+            },
+        );
+        let text = w.to_text();
+        let back = Wisdom::from_text(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup(&summit, [512, 512, 512], 192), w.lookup(&summit, [512, 512, 512], 192));
+        assert_eq!(back.lookup(&spock, [64, 64, 64], 16), w.lookup(&spock, [64, 64, 64], 16));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let w = Wisdom::from_text(
+            "# comment\n\nSummit 512 512 512 192 slabs a2av 1 123000\nBROKEN LINE\nSummit x y z 1 slabs a2av 1 5\n",
+        );
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn tune_cached_hits_cache() {
+        let summit = MachineSpec::summit();
+        let mut w = Wisdom::new();
+        // Pre-seed a sentinel entry that the real tuner would never produce
+        // (Alltoallw is never competitive): a hit proves the cache is used.
+        let sentinel = WisdomEntry {
+            decomp: Decomp::Bricks,
+            backend: CommBackend::AllToAllW,
+            gpu_aware: false,
+            time: SimTime::from_ns(1),
+        };
+        w.insert(&summit, [32, 32, 32], 12, sentinel.clone());
+        assert_eq!(w.tune_cached(&summit, [32, 32, 32], 12), sentinel);
+
+        // A genuine miss runs the tuner and remembers it.
+        let fresh = w.tune_cached(&summit, [16, 16, 16], 6);
+        assert_ne!(fresh.backend, CommBackend::AllToAllW);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.tune_cached(&summit, [16, 16, 16], 6), fresh);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("fft_wisdom_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("wisdom.txt");
+        let summit = MachineSpec::summit();
+        let mut w = Wisdom::new();
+        w.insert(&summit, [128, 128, 128], 24, entry());
+        w.save(&path).expect("save");
+        let back = Wisdom::load(&path).expect("load");
+        assert_eq!(back.lookup(&summit, [128, 128, 128], 24), Some(&entry()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entry_reconstructs_options() {
+        let o = entry().options();
+        assert_eq!(o.decomp, Decomp::Slabs);
+        assert_eq!(o.backend, CommBackend::AllToAllV);
+    }
+}

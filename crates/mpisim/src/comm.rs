@@ -1,0 +1,546 @@
+//! World, ranks, communicators and the mailbox transport.
+//!
+//! Rank programs execute on real threads and exchange real (typed) payloads
+//! through per-rank mailboxes. Simulated time is carried *on* the messages:
+//! an envelope holds the simulated arrival instant computed by the cost
+//! model, and a receive synchronizes the receiver's clock forward to it.
+//!
+//! A zero-cost *control plane* (`control_allgather`, `control_exchange`)
+//! lets collective implementations agree on entry times and byte counts so
+//! the pure schedule walkers in [`crate::pattern`] can price the operation
+//! identically on every rank — and identically to the analytic dry-run.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use simgrid::{MachineSpec, SimClock, SimTime};
+
+use crate::distro::MpiDistro;
+use crate::pattern::PhaseEnv;
+
+/// Matching key of a message: (communicator id, source world rank, tag).
+pub(crate) type MatchKey = (u64, usize, u64);
+
+/// Tag bit marking zero-cost control-plane traffic.
+pub(crate) const CONTROL_BIT: u64 = 1 << 63;
+
+/// Global options of a simulated MPI world.
+#[derive(Debug, Clone)]
+pub struct WorldOpts {
+    /// GPU-aware MPI (heFFTe's default; `--no-gpu-aware` clears it).
+    pub gpu_aware: bool,
+    /// Which MPI distribution's behaviour profile to emulate.
+    pub distro: MpiDistro,
+    /// Relative per-message timing jitter amplitude (0 = exact model).
+    pub noise_amplitude: f64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+    /// Failure injection: per-rank GPU compute slowdown factors (>1 =
+    /// slower), e.g. a thermally-throttled or degraded device. Kernel
+    /// durations on the listed ranks are multiplied by the factor; the
+    /// network model is unaffected.
+    pub compute_slowdown: Vec<(usize, f64)>,
+}
+
+impl Default for WorldOpts {
+    fn default() -> Self {
+        WorldOpts {
+            gpu_aware: true,
+            distro: MpiDistro::SpectrumMpi,
+            noise_amplitude: 0.0,
+            seed: 0xF0F0_1234,
+            compute_slowdown: Vec::new(),
+        }
+    }
+}
+
+/// One in-flight message.
+pub(crate) struct Envelope {
+    pub key: MatchKey,
+    pub payload: Box<dyn Any + Send>,
+    /// Simulated arrival instant ([`SimTime::ZERO`] for control traffic).
+    pub arrival: SimTime,
+    /// Global posting order, for FIFO tie-breaking.
+    pub seq: u64,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    q: Mutex<Vec<Envelope>>,
+    cv: Condvar,
+}
+
+/// A simulated machine partition running `nranks` MPI ranks (1 per GPU).
+pub struct World {
+    spec: MachineSpec,
+    opts: WorldOpts,
+    nranks: usize,
+    mailboxes: Vec<Mailbox>,
+    seq: AtomicU64,
+}
+
+impl World {
+    /// Creates a world of `nranks` ranks on machine `spec`.
+    pub fn new(spec: MachineSpec, nranks: usize, opts: WorldOpts) -> World {
+        assert!(nranks > 0, "world needs at least one rank");
+        World {
+            spec,
+            opts,
+            nranks,
+            mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// World options.
+    pub fn opts(&self) -> &WorldOpts {
+        &self.opts
+    }
+
+    /// Number of nodes occupied by this world.
+    pub fn nodes(&self) -> usize {
+        self.spec.nodes_for(self.nranks)
+    }
+
+    pub(crate) fn post(&self, dst: usize, env: Envelope) {
+        let mb = &self.mailboxes[dst];
+        mb.q.lock().push(env);
+        mb.cv.notify_all();
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Runs one rank program per rank on its own thread and returns their
+    /// results in rank order. This is the functional execution mode; the
+    /// closure receives a [`Rank`] handle carrying the rank's simulated
+    /// clock.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Rank) -> R + Sync,
+        R: Send,
+    {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nranks)
+                .map(|r| {
+                    let fref = &f;
+                    scope
+                        .builder()
+                        .name(format!("rank-{r}"))
+                        .stack_size(8 << 20)
+                        .spawn(move |_| {
+                            let mut rank = Rank::new(self, r);
+                            fref(&mut rank)
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+        .expect("world scope panicked")
+    }
+}
+
+/// Per-rank execution handle: identity, simulated clock, NIC serialization
+/// state and the current phase environment for point-to-point pricing.
+pub struct Rank<'w> {
+    world: &'w World,
+    rank: usize,
+    /// The rank's simulated clock. Public so executors can advance it by
+    /// modeled kernel durations.
+    pub clock: SimClock,
+    /// Instant until which this rank's injection port is busy.
+    pub(crate) nic_free_at: SimTime,
+    ctrl_counters: HashMap<u64, u64>,
+    phase_env: PhaseEnv,
+}
+
+impl<'w> Rank<'w> {
+    fn new(world: &'w World, rank: usize) -> Rank<'w> {
+        let phase_env = PhaseEnv::quiet(world.opts.gpu_aware);
+        Rank {
+            world,
+            rank,
+            clock: SimClock::new(),
+            nic_free_at: SimTime::ZERO,
+            ctrl_counters: HashMap::new(),
+            phase_env,
+        }
+    }
+
+    /// World this rank belongs to.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// World rank index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.nranks
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advances the clock by a modeled local-compute duration.
+    pub fn compute_ns(&mut self, ns: u64) {
+        self.clock.advance_ns(ns);
+    }
+
+    /// Sets the phase environment used to price subsequent point-to-point
+    /// traffic (NIC sharing, active node count, peer count, phase id).
+    pub fn set_phase_env(&mut self, env: PhaseEnv) {
+        self.phase_env = env;
+    }
+
+    /// Current phase environment.
+    pub fn phase_env(&self) -> PhaseEnv {
+        self.phase_env
+    }
+
+    /// Allocates the next control tag for a communicator. All members call
+    /// collectives in the same order (an MPI requirement), so the counters
+    /// agree across ranks.
+    pub(crate) fn ctrl_tag(&mut self, comm_id: u64) -> u64 {
+        let c = self.ctrl_counters.entry(comm_id).or_insert(0);
+        let tag = CONTROL_BIT | *c;
+        *c += 1;
+        tag
+    }
+
+    /// Posts a message to `dst` (world rank) with an explicit simulated
+    /// arrival time.
+    pub(crate) fn post_raw(
+        &self,
+        comm_id: u64,
+        dst_world: usize,
+        tag: u64,
+        payload: Box<dyn Any + Send>,
+        arrival: SimTime,
+    ) {
+        let env = Envelope {
+            key: (comm_id, self.rank, tag),
+            payload,
+            arrival,
+            seq: self.world.next_seq(),
+        };
+        self.world.post(dst_world, env);
+    }
+
+    /// Blocks until a message matching one of `keys` is available; returns
+    /// the index of the matched key and the envelope. Among simultaneously
+    /// available matches the earliest (arrival, seq) wins — the `waitany`
+    /// completion order.
+    pub(crate) fn recv_matching(&mut self, keys: &[MatchKey]) -> (usize, Envelope) {
+        let mb = &self.world.mailboxes[self.rank];
+        let mut q = mb.q.lock();
+        loop {
+            let mut best: Option<(usize, usize, SimTime, u64)> = None; // (q idx, key idx, arrival, seq)
+            for (qi, env) in q.iter().enumerate() {
+                if let Some(ki) = keys.iter().position(|k| *k == env.key) {
+                    let cand = (qi, ki, env.arrival, env.seq);
+                    best = match best {
+                        None => Some(cand),
+                        Some(b) if (cand.2, cand.3) < (b.2, b.3) => Some(cand),
+                        Some(b) => Some(b),
+                    };
+                }
+            }
+            if let Some((qi, ki, _, _)) = best {
+                let env = q.swap_remove(qi);
+                return (ki, env);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Receives a typed control/data payload for an exact key.
+    pub(crate) fn recv_typed<T: 'static>(&mut self, key: MatchKey) -> (T, SimTime) {
+        let (_, env) = self.recv_matching(&[key]);
+        let arrival = env.arrival;
+        let payload = env
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on message {key:?}"));
+        (*payload, arrival)
+    }
+}
+
+/// A communicator: an ordered group of world ranks with a distinct id.
+#[derive(Clone)]
+pub struct Comm {
+    id: u64,
+    members: Arc<Vec<usize>>,
+    my_index: usize,
+}
+
+impl Comm {
+    /// `MPI_COMM_WORLD` for this rank.
+    pub fn world(rank: &Rank) -> Comm {
+        Comm {
+            id: 0,
+            members: Arc::new((0..rank.size()).collect()),
+            my_index: rank.rank(),
+        }
+    }
+
+    /// Communicator id (distinct per split).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index within the communicator.
+    pub fn me(&self) -> usize {
+        self.my_index
+    }
+
+    /// World rank of member `i`.
+    pub fn member(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    /// All member world ranks, in communicator order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Splits the communicator by `color`, ordering members of each new
+    /// communicator by `(key, world rank)` — `MPI_Comm_split` semantics.
+    /// Returns this rank's new communicator.
+    pub fn split(&self, rank: &mut Rank, color: u64, key: u64) -> Comm {
+        let me_world = self.member(self.my_index);
+        let gathered = self.control_allgather(rank, (color, key, me_world));
+        let call_seq = rank.ctrl_counters.get(&self.id).copied().unwrap_or(0);
+
+        let mut mine: Vec<(u64, usize)> = gathered
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, w)| (*k, *w))
+            .collect();
+        mine.sort_unstable();
+        let members: Vec<usize> = mine.iter().map(|(_, w)| *w).collect();
+        let my_index = members
+            .iter()
+            .position(|w| *w == me_world)
+            .expect("rank missing from its own split group");
+
+        // Deterministic id from (parent, call sequence, color) — identical on
+        // every member, distinct across splits.
+        let id = splitmix(splitmix(self.id, call_seq), color);
+        Comm {
+            id,
+            members: Arc::new(members),
+            my_index,
+        }
+    }
+
+    /// Gathers one value from every member, in member order. Zero simulated
+    /// cost: this is simulator control-plane traffic, used by collectives to
+    /// agree on entry times and byte counts.
+    pub fn control_allgather<T: Clone + Send + 'static>(&self, rank: &mut Rank, value: T) -> Vec<T> {
+        let tag = rank.ctrl_tag(self.id);
+        for (i, &w) in self.members.iter().enumerate() {
+            if i != self.my_index {
+                rank.post_raw(self.id, w, tag, Box::new(value.clone()), SimTime::ZERO);
+            }
+        }
+        let mut out: Vec<Option<T>> = vec![None; self.size()];
+        out[self.my_index] = Some(value);
+        #[allow(clippy::needless_range_loop)] // i is a member index, not just a vec index
+        for i in 0..self.size() {
+            if i == self.my_index {
+                continue;
+            }
+            let key = (self.id, self.member(i), tag);
+            let (v, _) = rank.recv_typed::<T>(key);
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("allgather hole")).collect()
+    }
+
+    /// Moves one payload to each member (index-addressed) and receives one
+    /// from each, with zero simulated cost. The caller is responsible for
+    /// advancing clocks via a schedule walker.
+    pub fn control_exchange<T: Send + 'static>(
+        &self,
+        rank: &mut Rank,
+        mut sends: Vec<T>,
+    ) -> Vec<T> {
+        assert_eq!(sends.len(), self.size(), "one payload per member required");
+        let tag = rank.ctrl_tag(self.id);
+        // Keep own payload; post the rest (drain from the back to keep
+        // indices stable).
+        let mut own: Option<T> = None;
+        for i in (0..self.size()).rev() {
+            let item = sends.pop().expect("length checked above");
+            if i == self.my_index {
+                own = Some(item);
+            } else {
+                rank.post_raw(self.id, self.member(i), tag, Box::new(item), SimTime::ZERO);
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        out[self.my_index] = own;
+        #[allow(clippy::needless_range_loop)] // i is a member index, not just a vec index
+        for i in 0..self.size() {
+            if i == self.my_index {
+                continue;
+            }
+            let key = (self.id, self.member(i), tag);
+            let (v, _) = rank.recv_typed::<T>(key);
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("exchange hole")).collect()
+    }
+}
+
+/// SplitMix64-style mixing for communicator ids.
+fn splitmix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x2545F4914F6CDD1D);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    x | 1 // never collide with the world id 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::MachineSpec;
+
+    fn world(n: usize) -> World {
+        World::new(MachineSpec::testbox(2), n, WorldOpts::default())
+    }
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let w = world(4);
+        let out = w.run(|r| r.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn control_allgather_collects_everyone() {
+        let w = world(5);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            comm.control_allgather(r, r.rank() as u64)
+        });
+        for got in out {
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn control_allgather_costs_no_time() {
+        let w = world(3);
+        let times = w.run(|r| {
+            let comm = Comm::world(r);
+            let _ = comm.control_allgather(r, 7u32);
+            r.now()
+        });
+        assert!(times.iter().all(|t| *t == SimTime::ZERO));
+    }
+
+    #[test]
+    fn control_exchange_routes_by_index() {
+        let w = world(4);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            // Send "100*me + dest" to each dest.
+            let sends: Vec<u64> = (0..4).map(|d| 100 * r.rank() as u64 + d as u64).collect();
+            comm.control_exchange(r, sends)
+        });
+        for (me, got) in out.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|src| 100 * src as u64 + me as u64).collect();
+            assert_eq!(*got, expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn split_groups_and_orders_members() {
+        let w = world(6);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            // Even/odd split, reverse order inside each group via key.
+            let color = (r.rank() % 2) as u64;
+            let key = (100 - r.rank()) as u64;
+            let sub = comm.split(r, color, key);
+            (sub.id(), sub.members().to_vec(), sub.me())
+        });
+        // Evens reversed: [4, 2, 0]; odds reversed: [5, 3, 1].
+        assert_eq!(out[0].1, vec![4, 2, 0]);
+        assert_eq!(out[1].1, vec![5, 3, 1]);
+        assert_eq!(out[0].1[out[0].2], 0);
+        assert_eq!(out[3].1[out[3].2], 3);
+        // Same color ⇒ same id; different color ⇒ different id.
+        assert_eq!(out[0].0, out[2].0);
+        assert_ne!(out[0].0, out[1].0);
+        assert_ne!(out[0].0, 0);
+    }
+
+    #[test]
+    fn sequential_splits_get_distinct_ids() {
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let a = comm.split(r, 0, r.rank() as u64);
+            let b = comm.split(r, 0, r.rank() as u64);
+            (a.id(), b.id())
+        });
+        assert_ne!(out[0].0, out[0].1);
+        assert_eq!(out[0].0, out[1].0);
+    }
+
+    #[test]
+    fn messages_carry_arrival_times() {
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                r.post_raw(comm.id(), 1, 42, Box::new(123u32), SimTime::from_us(5));
+                0
+            } else {
+                let (v, arrival) = r.recv_typed::<u32>((comm.id(), 0, 42));
+                assert_eq!(v, 123);
+                assert_eq!(arrival, SimTime::from_us(5));
+                r.clock.sync_to(arrival);
+                r.now().as_ns() as usize
+            }
+        });
+        assert_eq!(out[1], 5_000);
+    }
+}

@@ -1,0 +1,169 @@
+//! Derived datatypes: the `MPI_Type_create_subarray` equivalent.
+//!
+//! Algorithm 2 of the paper (Dalcin et al.'s non-contiguous exchange) never
+//! packs: it describes each block of a 3-D array as a *sub-array datatype*
+//! and hands it straight to `MPI_Alltoallw`. This module provides that
+//! datatype, including the functional pack/unpack used to actually move the
+//! elements in simulation.
+
+/// A 3-D sub-array view into a row-major parent array, mirroring
+/// `MPI_Type_create_subarray(ndims=3, sizes, subsizes, starts, ORDER_C)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subarray {
+    /// Extents of the parent array (slowest-varying first).
+    pub sizes: [usize; 3],
+    /// Extents of the selected block.
+    pub subsizes: [usize; 3],
+    /// Offset of the block within the parent.
+    pub starts: [usize; 3],
+}
+
+impl Subarray {
+    /// Creates a sub-array datatype, validating that the block fits.
+    pub fn new(sizes: [usize; 3], subsizes: [usize; 3], starts: [usize; 3]) -> Subarray {
+        for d in 0..3 {
+            assert!(
+                starts[d] + subsizes[d] <= sizes[d],
+                "subarray out of bounds in dim {d}: start {} + sub {} > size {}",
+                starts[d],
+                subsizes[d],
+                sizes[d]
+            );
+        }
+        Subarray {
+            sizes,
+            subsizes,
+            starts,
+        }
+    }
+
+    /// Number of elements the datatype selects.
+    pub fn elem_count(&self) -> usize {
+        self.subsizes.iter().product()
+    }
+
+    /// True when the selected block is contiguous in the parent's memory
+    /// (a full run of the two fastest dimensions, or degenerate shapes).
+    pub fn is_contiguous(&self) -> bool {
+        // Contiguous iff, scanning from the fastest dimension, every
+        // dimension before the first partial one is taken in full, and all
+        // slower dimensions after a partial one have subsize 1.
+        let full2 = self.subsizes[2] == self.sizes[2];
+        let full1 = self.subsizes[1] == self.sizes[1];
+        if full1 && full2 {
+            return true; // any run of whole planes
+        }
+        if full2 {
+            return self.subsizes[0] == 1; // whole rows within one plane
+        }
+        self.subsizes[0] == 1 && self.subsizes[1] == 1 // a row fragment
+    }
+
+    /// Flat index of local block coordinate `(i, j, k)` in the parent.
+    #[inline]
+    fn parent_index(&self, i: usize, j: usize, k: usize) -> usize {
+        ((self.starts[0] + i) * self.sizes[1] + (self.starts[1] + j)) * self.sizes[2]
+            + (self.starts[2] + k)
+    }
+
+    /// Gathers the selected elements from `parent` into a new contiguous
+    /// vector (row-major over the block).
+    pub fn pack<T: Copy>(&self, parent: &[T]) -> Vec<T> {
+        assert_eq!(
+            parent.len(),
+            self.sizes.iter().product::<usize>(),
+            "parent length does not match datatype sizes"
+        );
+        let mut out = Vec::with_capacity(self.elem_count());
+        for i in 0..self.subsizes[0] {
+            for j in 0..self.subsizes[1] {
+                let base = self.parent_index(i, j, 0);
+                out.extend_from_slice(&parent[base..base + self.subsizes[2]]);
+            }
+        }
+        out
+    }
+
+    /// Scatters a contiguous `block` (as produced by [`pack`]) back into
+    /// `parent`.
+    ///
+    /// [`pack`]: Subarray::pack
+    pub fn unpack<T: Copy>(&self, block: &[T], parent: &mut [T]) {
+        assert_eq!(
+            parent.len(),
+            self.sizes.iter().product::<usize>(),
+            "parent length does not match datatype sizes"
+        );
+        assert_eq!(block.len(), self.elem_count(), "block length mismatch");
+        let mut src = 0;
+        for i in 0..self.subsizes[0] {
+            for j in 0..self.subsizes[1] {
+                let base = self.parent_index(i, j, 0);
+                parent[base..base + self.subsizes[2]]
+                    .copy_from_slice(&block[src..src + self.subsizes[2]]);
+                src += self.subsizes[2];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent_3x4x5() -> Vec<u32> {
+        (0..60).collect()
+    }
+
+    #[test]
+    fn pack_selects_the_block() {
+        let dt = Subarray::new([3, 4, 5], [2, 2, 2], [1, 1, 2]);
+        let packed = dt.pack(&parent_3x4x5());
+        // (i,j,k) -> (1+i)*20 + (1+j)*5 + (2+k)
+        let expect: Vec<u32> = vec![27, 28, 32, 33, 47, 48, 52, 53];
+        assert_eq!(packed, expect);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let dt = Subarray::new([3, 4, 5], [2, 3, 4], [0, 1, 0]);
+        let parent = parent_3x4x5();
+        let packed = dt.pack(&parent);
+        let mut target = vec![0u32; 60];
+        dt.unpack(&packed, &mut target);
+        // Every selected element equals the original; others untouched (0).
+        let repacked = dt.pack(&target);
+        assert_eq!(repacked, packed);
+        // Every selected parent value is nonzero here (the block excludes
+        // index 0), so exactly `elem_count` cells of the target are written.
+        assert_eq!(target.iter().filter(|v| **v != 0).count(), dt.elem_count());
+    }
+
+    #[test]
+    fn elem_count_and_bounds() {
+        let dt = Subarray::new([4, 4, 4], [4, 4, 4], [0, 0, 0]);
+        assert_eq!(dt.elem_count(), 64);
+        let whole = dt.pack(&(0..64u32).collect::<Vec<_>>());
+        assert_eq!(whole, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_overflowing_block() {
+        let _ = Subarray::new([4, 4, 4], [2, 2, 3], [3, 0, 0]);
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        // Whole planes: contiguous.
+        assert!(Subarray::new([4, 4, 4], [2, 4, 4], [1, 0, 0]).is_contiguous());
+        // Whole rows in one plane: contiguous.
+        assert!(Subarray::new([4, 4, 4], [1, 2, 4], [0, 1, 0]).is_contiguous());
+        // Row fragment: contiguous.
+        assert!(Subarray::new([4, 4, 4], [1, 1, 3], [0, 0, 1]).is_contiguous());
+        // Column block: NOT contiguous.
+        assert!(!Subarray::new([4, 4, 4], [2, 2, 2], [0, 0, 0]).is_contiguous());
+        // Partial rows across planes: NOT contiguous.
+        assert!(!Subarray::new([4, 4, 4], [2, 1, 4], [0, 0, 0]).is_contiguous());
+    }
+}

@@ -1,0 +1,407 @@
+//! Point-to-point primitives: `send`, `isend`, `irecv`, `sendrecv`,
+//! `wait`, `waitany`.
+//!
+//! Timing follows a LogGP-style accounting:
+//!
+//! * posting a send costs a CPU overhead (plus the GPU-aware registration
+//!   overhead when GPU-awareness is on — the term that blows up at scale in
+//!   Fig. 9);
+//! * each rank's injections serialize on its NIC port (`nic_free_at`);
+//! * a message arrives `latency` after its injection completes;
+//! * a receive completes at `max(local clock, arrival) + overhead`.
+//!
+//! A blocking [`send`] occupies the sender until injection completes; an
+//! [`isend`] returns after the posting overhead and completes at [`wait`].
+
+use simgrid::SimTime;
+
+use crate::comm::{Comm, MatchKey, Rank, CONTROL_BIT};
+use crate::pattern::{msg_parts, NetParams, RECV_OVERHEAD_NS, SEND_OVERHEAD_NS};
+
+/// Completion handle of a non-blocking send.
+#[derive(Debug, Clone, Copy)]
+pub struct SendToken {
+    completes_at: SimTime,
+}
+
+/// Pending non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvReq {
+    key: MatchKey,
+}
+
+fn net_params<'a>(rank: &Rank<'a>) -> NetParams<'a> {
+    let w = rank.world();
+    NetParams {
+        spec: w.spec(),
+        seed: w.opts().seed,
+        noise_amp: w.opts().noise_amplitude,
+    }
+}
+
+fn check_tag(tag: u64) {
+    assert!(tag & CONTROL_BIT == 0, "user tags must not set the control bit");
+}
+
+/// Per-message posting overhead, including GPU-aware registration when the
+/// current phase is GPU-aware.
+fn send_overhead_ns(rank: &Rank) -> u64 {
+    let env = rank.phase_env();
+    let mut o = SEND_OVERHEAD_NS;
+    if env.gpu_aware {
+        o += rank.world().spec().p2p_gpu_aware_overhead_ns(env.p2p_peers);
+    }
+    o
+}
+
+fn launch_send<T: Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    dst: usize,
+    tag: u64,
+    data: T,
+    bytes: usize,
+) -> SimTime {
+    check_tag(tag);
+    let np = net_params(rank);
+    let env = rank.phase_env();
+    let dst_world = comm.member(dst);
+    let (inject, lat) = msg_parts(&np, &env, bytes, rank.rank(), dst_world);
+
+    let post = rank.now() + SimTime::from_ns(send_overhead_ns(rank));
+    let start = post.max(rank.nic_free_at);
+    let inj_end = start + SimTime::from_ns(inject);
+    rank.nic_free_at = inj_end;
+    let arrival = inj_end + SimTime::from_ns(lat);
+    rank.post_raw(comm.id(), dst_world, tag, Box::new(data), arrival);
+    rank.clock.sync_to(post);
+    inj_end
+}
+
+/// Blocking standard send (`MPI_Send`): returns when the message has been
+/// injected into the network.
+pub fn send<T: Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    dst: usize,
+    tag: u64,
+    data: T,
+    bytes: usize,
+) {
+    let inj_end = launch_send(rank, comm, dst, tag, data, bytes);
+    rank.clock.sync_to(inj_end);
+}
+
+/// Non-blocking send (`MPI_Isend`): returns immediately after the posting
+/// overhead; complete it with [`wait`].
+pub fn isend<T: Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    dst: usize,
+    tag: u64,
+    data: T,
+    bytes: usize,
+) -> SendToken {
+    let inj_end = launch_send(rank, comm, dst, tag, data, bytes);
+    SendToken {
+        completes_at: inj_end,
+    }
+}
+
+/// Completes a non-blocking send (`MPI_Wait` on a send request).
+pub fn wait(rank: &mut Rank, token: SendToken) {
+    rank.clock.sync_to(token.completes_at);
+}
+
+/// Posts a non-blocking receive (`MPI_Irecv`).
+pub fn irecv(rank: &Rank, comm: &Comm, src: usize, tag: u64) -> RecvReq {
+    check_tag(tag);
+    let _ = rank; // posting a receive is free in this model
+    RecvReq {
+        key: (comm.id(), comm.member(src), tag),
+    }
+}
+
+/// Blocking receive (`MPI_Recv`).
+pub fn recv<T: 'static>(rank: &mut Rank, comm: &Comm, src: usize, tag: u64) -> T {
+    let req = irecv(rank, comm, src, tag);
+    wait_recv(rank, req)
+}
+
+/// Completes a pending receive (`MPI_Wait` on a receive request).
+pub fn wait_recv<T: 'static>(rank: &mut Rank, req: RecvReq) -> T {
+    let (v, arrival) = rank.recv_typed::<T>(req.key);
+    rank.clock.sync_to(arrival);
+    rank.clock.advance_ns(RECV_OVERHEAD_NS);
+    v
+}
+
+/// Completes whichever pending receive finishes first (`MPI_Waitany`).
+/// Removes the completed request from `reqs` and returns its former index
+/// with the payload.
+pub fn waitany<T: 'static>(rank: &mut Rank, reqs: &mut Vec<RecvReq>) -> (usize, T) {
+    assert!(!reqs.is_empty(), "waitany on empty request list");
+    let keys: Vec<MatchKey> = reqs.iter().map(|r| r.key).collect();
+    let (ki, env) = rank.recv_matching(&keys);
+    rank.clock.sync_to(env.arrival);
+    rank.clock.advance_ns(RECV_OVERHEAD_NS);
+    let payload = env
+        .payload
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("type mismatch in waitany"));
+    reqs.remove(ki);
+    (ki, *payload)
+}
+
+/// Combined send + receive (`MPI_Sendrecv`): posts the send, blocks on the
+/// receive, then completes the send.
+#[allow(clippy::too_many_arguments)]
+pub fn sendrecv<T: Send + 'static, U: 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    dst: usize,
+    send_tag: u64,
+    data: T,
+    bytes: usize,
+    src: usize,
+    recv_tag: u64,
+) -> U {
+    let token = isend(rank, comm, dst, send_tag, data, bytes);
+    let v: U = recv(rank, comm, src, recv_tag);
+    wait(rank, token);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{World, WorldOpts};
+    use crate::pattern::PhaseEnv;
+    use simgrid::MachineSpec;
+
+    fn world(n: usize) -> World {
+        World::new(MachineSpec::summit(), n, WorldOpts::default())
+    }
+
+    #[test]
+    fn send_recv_moves_data_and_time() {
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                let payload: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+                send(r, &comm, 1, 7, payload, 8 * 1024);
+                r.now().as_ns()
+            } else {
+                let v: Vec<f64> = recv(r, &comm, 0, 7);
+                assert_eq!(v.len(), 1024);
+                assert_eq!(v[10], 10.0);
+                r.now().as_ns()
+            }
+        });
+        // Sender finished at injection end; receiver after arrival.
+        assert!(out[0] > 0);
+        assert!(out[1] > out[0], "receiver {} <= sender {}", out[1], out[0]);
+    }
+
+    #[test]
+    fn blocking_send_waits_for_injection_nonblocking_does_not() {
+        let w = world(2);
+        let bytes = 64 << 20; // 64 MiB: long injection
+        let out = w.run(move |r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                let t_block = {
+                    send(r, &comm, 1, 1, vec![0u8; 4], bytes);
+                    r.now()
+                };
+                let before = r.now();
+                let tok = isend(r, &comm, 1, 2, vec![0u8; 4], bytes);
+                let t_post = r.now() - before;
+                wait(r, tok);
+                (t_block.as_ns(), t_post.as_ns())
+            } else {
+                let _: Vec<u8> = recv(r, &comm, 0, 1);
+                let _: Vec<u8> = recv(r, &comm, 0, 2);
+                (0, 0)
+            }
+        });
+        let (blocking_total, isend_post) = out[0];
+        assert!(
+            isend_post < blocking_total / 100,
+            "isend posting ({isend_post} ns) should be tiny next to a blocking 64 MiB send ({blocking_total} ns)"
+        );
+    }
+
+    #[test]
+    fn injections_serialize_on_the_nic() {
+        let w = world(3);
+        let bytes = 16 << 20;
+        let out = w.run(move |r| {
+            let comm = Comm::world(r);
+            match r.rank() {
+                0 => {
+                    let t1 = isend(r, &comm, 1, 1, vec![1u8], bytes);
+                    let t2 = isend(r, &comm, 2, 1, vec![2u8], bytes);
+                    (t1.completes_at.as_ns(), t2.completes_at.as_ns())
+                }
+                _ => {
+                    let _: Vec<u8> = recv(r, &comm, 0, 1);
+                    (0, 0)
+                }
+            }
+        });
+        let (first, second) = out[0];
+        // The second injection must start after the first finishes.
+        assert!(second >= 2 * first - first / 10, "first {first}, second {second}");
+    }
+
+    #[test]
+    fn waitany_returns_earliest_arrival() {
+        let w = world(3);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            match r.rank() {
+                0 => {
+                    // Rank 1 is intra-node (fast), rank 2... also intra-node
+                    // on Summit (6/node); give rank 2 a huge message instead.
+                    let mut reqs = vec![irecv(r, &comm, 1, 5), irecv(r, &comm, 2, 5)];
+                    let (idx, v): (usize, Vec<u8>) = waitany(r, &mut reqs);
+                    let (idx2, _): (usize, Vec<u8>) = waitany(r, &mut reqs);
+                    assert_eq!(reqs.len(), 0);
+                    (idx, v.len(), idx2)
+                }
+                1 => {
+                    send(r, &comm, 0, 5, vec![1u8; 16], 16);
+                    (9, 0, 9)
+                }
+                _ => {
+                    send(r, &comm, 0, 5, vec![2u8; 16], 32 << 20);
+                    (9, 0, 9)
+                }
+            }
+        });
+        let (first_idx, first_len, second_idx) = out[0];
+        assert_eq!(first_idx, 0, "small message from rank 1 should win");
+        assert_eq!(first_len, 16);
+        // After removal, the remaining request is at index 0.
+        assert_eq!(second_idx, 0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let other = 1 - r.rank();
+            let mine = vec![r.rank() as u32; 8];
+            let theirs: Vec<u32> =
+                sendrecv(r, &comm, other, 3, mine, 32, other, 3);
+            theirs[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn gpu_aware_overhead_applies_past_knee() {
+        let spec = MachineSpec::summit();
+        let knee = spec.p2p_gpu_aware_peer_knee;
+        let w = World::new(spec, 2, WorldOpts::default());
+        let out = w.run(move |r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                let mut few = PhaseEnv::quiet(true);
+                few.p2p_peers = 2;
+                r.set_phase_env(few);
+                let t0 = r.now();
+                send(r, &comm, 1, 1, vec![0u8], 16);
+                let cheap = (r.now() - t0).as_ns();
+
+                let mut many = PhaseEnv::quiet(true);
+                many.p2p_peers = knee * 4;
+                r.set_phase_env(many);
+                let t1 = r.now();
+                send(r, &comm, 1, 2, vec![0u8], 16);
+                let pricey = (r.now() - t1).as_ns();
+                (cheap, pricey)
+            } else {
+                let _: Vec<u8> = recv(r, &comm, 0, 1);
+                let _: Vec<u8> = recv(r, &comm, 0, 2);
+                (0, 0)
+            }
+        });
+        let (cheap, pricey) = out[0];
+        assert!(
+            pricey > 5 * cheap,
+            "past-knee send ({pricey} ns) should dwarf under-knee send ({cheap} ns)"
+        );
+    }
+
+    #[test]
+    fn same_tag_messages_arrive_fifo() {
+        // Two back-to-back sends on one (src, tag) pair must be received in
+        // posting order — MPI's non-overtaking guarantee.
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                send(r, &comm, 1, 9, 1u32, 4);
+                send(r, &comm, 1, 9, 2u32, 4);
+                vec![]
+            } else {
+                let a: u32 = recv(r, &comm, 0, 9);
+                let b: u32 = recv(r, &comm, 0, 9);
+                vec![a, b]
+            }
+        });
+        assert_eq!(out[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order_receives() {
+        // The receiver asks for tag 2 first even though tag 1 was sent
+        // first — matching is by tag, not arrival.
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                send(r, &comm, 1, 1, 10u32, 4);
+                send(r, &comm, 1, 2, 20u32, 4);
+                (0, 0)
+            } else {
+                let b: u32 = recv(r, &comm, 0, 2);
+                let a: u32 = recv(r, &comm, 0, 1);
+                (a, b)
+            }
+        });
+        assert_eq!(out[1], (10, 20));
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let w = world(2);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let me = r.rank();
+            let tok = isend(r, &comm, me, 3, 42u8, 1);
+            let v: u8 = recv(r, &comm, me, 3);
+            wait(r, tok);
+            v
+        });
+        assert_eq!(out, vec![42, 42]);
+    }
+
+    #[test]
+    #[should_panic] // the "control bit" assertion fires inside the rank thread
+    fn rejects_control_tags() {
+        let w = world(2);
+        w.run(|r| {
+            let comm = Comm::world(r);
+            if r.rank() == 0 {
+                send(r, &comm, 1, CONTROL_BIT | 1, 0u8, 1);
+            } else {
+                let _: u8 = recv(r, &comm, 0, CONTROL_BIT | 1);
+            }
+        });
+    }
+}

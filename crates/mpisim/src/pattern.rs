@@ -1,0 +1,564 @@
+//! Pure schedule walkers — the single source of truth for communication
+//! timing.
+//!
+//! Each walker prices one communication phase (an all-to-all, a Bruck
+//! exchange, a scatter of point-to-point messages) given the participating
+//! world ranks, their entry times, and the per-pair byte counts. The
+//! functional engine calls these to advance rank clocks; the analytic
+//! dry-run executor in `distfft` calls the *same functions* with the same
+//! arguments — which is why both modes report identical times.
+//!
+//! All pricing bottoms out in `simgrid::link::message_time_ns`, with an
+//! optional deterministic per-message jitter (`simgrid::noise::hash_jitter`).
+
+use simgrid::link::{self, TransferCtx};
+use simgrid::noise::hash_jitter;
+use simgrid::{MachineSpec, SimTime};
+
+/// CPU-side cost of initiating a send (descriptor setup, protocol).
+pub const SEND_OVERHEAD_NS: u64 = 200;
+/// CPU-side cost of completing a receive (matching, dequeue).
+pub const RECV_OVERHEAD_NS: u64 = 300;
+
+/// Environment of one communication phase: how the network is being shared
+/// while this phase runs, plus an id for deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseEnv {
+    /// Whether messages may move device-direct (GPU-aware MPI).
+    pub gpu_aware: bool,
+    /// Concurrent off-node flows per NIC during this phase (≥1). For a
+    /// machine-wide exchange this is the number of ranks per node.
+    pub flows_per_nic: usize,
+    /// Nodes participating machine-wide (fabric saturation input).
+    pub nodes: usize,
+    /// Distinct peers each rank exchanges with in this phase (drives the
+    /// GPU-aware P2P per-message overhead of Fig. 9).
+    pub p2p_peers: usize,
+    /// Phase identifier, part of the jitter key.
+    pub phase_id: u64,
+}
+
+impl PhaseEnv {
+    /// A quiet network: single flow, two nodes, one peer.
+    pub fn quiet(gpu_aware: bool) -> PhaseEnv {
+        PhaseEnv {
+            gpu_aware,
+            flows_per_nic: 1,
+            nodes: 2,
+            p2p_peers: 1,
+            phase_id: 0,
+        }
+    }
+
+    /// Derives the environment for a machine-wide phase over `total_ranks`
+    /// ranks where each rank exchanges with `peers` peers.
+    pub fn machine_wide(
+        spec: &MachineSpec,
+        total_ranks: usize,
+        peers: usize,
+        gpu_aware: bool,
+        phase_id: u64,
+    ) -> PhaseEnv {
+        PhaseEnv {
+            gpu_aware,
+            flows_per_nic: spec.gpus_per_node.min(total_ranks.max(1)),
+            nodes: spec.nodes_for(total_ranks),
+            p2p_peers: peers.max(1),
+            phase_id,
+        }
+    }
+
+    fn transfer_ctx(&self) -> TransferCtx {
+        TransferCtx {
+            gpu_aware: self.gpu_aware,
+            offnode_flows_per_nic: self.flows_per_nic,
+            nodes_involved: self.nodes,
+        }
+    }
+}
+
+/// Network pricing parameters shared by a run: machine + jitter settings.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams<'a> {
+    /// Machine description.
+    pub spec: &'a MachineSpec,
+    /// Jitter seed (from `WorldOpts::seed`).
+    pub seed: u64,
+    /// Jitter amplitude (from `WorldOpts::noise_amplitude`).
+    pub noise_amp: f64,
+}
+
+impl<'a> NetParams<'a> {
+    /// Exact pricing (no jitter).
+    pub fn exact(spec: &'a MachineSpec) -> NetParams<'a> {
+        NetParams {
+            spec,
+            seed: 0,
+            noise_amp: 0.0,
+        }
+    }
+}
+
+/// Point-to-point schedule flavor (Fig. 7: blocking `MPI_Send` vs
+/// non-blocking `MPI_Isend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P2pFlavor {
+    /// `MPI_Send` + `MPI_Irecv`: each send occupies the sender until its
+    /// injection completes.
+    Blocking,
+    /// `MPI_Isend` + `MPI_Irecv` + `MPI_Waitany`: sends are posted
+    /// back-to-back; injection still serializes on the NIC port.
+    NonBlocking,
+}
+
+/// Splits a message's cost into (injection, latency) parts, with jitter
+/// applied to the injection. `src`/`dst` are **world** ranks.
+pub fn msg_parts(
+    np: &NetParams,
+    env: &PhaseEnv,
+    bytes: usize,
+    src: usize,
+    dst: usize,
+) -> (u64, u64) {
+    let ctx = env.transfer_ctx();
+    let total = link::message_time_ns(np.spec, bytes, src, dst, &ctx);
+    let lat = link::message_time_ns(np.spec, 0, src, dst, &ctx);
+    let inject = total.saturating_sub(lat);
+    let j = hash_jitter(np.seed, env.phase_id, src as u64, dst as u64, np.noise_amp);
+    ((inject as f64 * j).round() as u64, lat)
+}
+
+/// Cost (ns) of the local self-copy on the diagonal of an exchange.
+pub fn selfcopy_ns(np: &NetParams, env: &PhaseEnv, rank: usize, bytes: usize) -> u64 {
+    let ctx = env.transfer_ctx();
+    link::message_time_ns(np.spec, bytes, rank, rank, &ctx)
+}
+
+/// Prices a **pairwise-exchange all-to-all** (the large-message algorithm in
+/// MPICH/SpectrumMPI for `MPI_Alltoall(v)`): `p-1` step-synchronized
+/// send-receive rounds, partner at step `s` being `(me + s) mod p`.
+///
+/// `group[i]` is the world rank of member `i`; `entries[i]` its entry time;
+/// `bytes(i, j)` the payload member `i` sends member `j`. Returns exit times.
+pub fn pairwise_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    entries: &[SimTime],
+    bytes: &dyn Fn(usize, usize) -> usize,
+    extra_per_msg_ns: u64,
+) -> Vec<SimTime> {
+    let p = group.len();
+    assert_eq!(entries.len(), p);
+    if p == 0 {
+        return Vec::new();
+    }
+    let mut now: Vec<SimTime> = (0..p)
+        .map(|i| entries[i] + SimTime::from_ns(selfcopy_ns(np, env, group[i], bytes(i, i))))
+        .collect();
+    let mut nic: Vec<SimTime> = now.clone();
+
+    for step in 1..p {
+        // Injection pass: everyone prices its send of this step.
+        let mut inj_end = vec![SimTime::ZERO; p];
+        let mut arrival_at = vec![SimTime::ZERO; p]; // arrival of the msg *received* this step
+        for i in 0..p {
+            let dst = (i + step) % p;
+            let (inject, _lat) = msg_parts(np, env, bytes(i, dst), group[i], group[dst]);
+            let start = (now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + extra_per_msg_ns))
+                .max(nic[i]);
+            inj_end[i] = start + SimTime::from_ns(inject);
+        }
+        for i in 0..p {
+            let src = (i + p - step) % p;
+            let (_inject, lat) = msg_parts(np, env, bytes(src, i), group[src], group[i]);
+            arrival_at[i] = inj_end[src] + SimTime::from_ns(lat);
+        }
+        // Completion pass: sendrecv finishes when both directions are done.
+        for i in 0..p {
+            nic[i] = inj_end[i];
+            now[i] = inj_end[i].max(arrival_at[i])
+                + SimTime::from_ns(RECV_OVERHEAD_NS + extra_per_msg_ns);
+        }
+    }
+    now
+}
+
+/// Prices a **Bruck all-to-all** (the small-message algorithm): `⌈log₂ p⌉`
+/// rounds, each moving roughly half of a rank's total payload to
+/// `(me + 2^r) mod p`, with a local reorder between rounds.
+pub fn bruck_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    entries: &[SimTime],
+    total_send_bytes: &[usize],
+) -> Vec<SimTime> {
+    let p = group.len();
+    assert_eq!(entries.len(), p);
+    if p <= 1 {
+        return entries.to_vec();
+    }
+    let rounds = usize::BITS - (p - 1).leading_zeros(); // ceil(log2 p)
+    let mut now = entries.to_vec();
+    let mut nic = entries.to_vec();
+
+    for r in 0..rounds {
+        let hop = 1usize << r;
+        let mut inj_end = vec![SimTime::ZERO; p];
+        for i in 0..p {
+            let dst = (i + hop) % p;
+            let b = total_send_bytes[i] / 2;
+            let (inject, _lat) = msg_parts(np, env, b, group[i], group[dst]);
+            // Bruck reorders locally before each round: charge a pack pass.
+            let pack = np.spec.kernel_model().pack_ns(b);
+            let start = (now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + pack)).max(nic[i]);
+            inj_end[i] = start + SimTime::from_ns(inject);
+        }
+        for i in 0..p {
+            let src = (i + p - hop) % p;
+            let b = total_send_bytes[src] / 2;
+            let (_inject, lat) = msg_parts(np, env, b, group[src], group[i]);
+            let arrival = inj_end[src] + SimTime::from_ns(lat);
+            nic[i] = inj_end[i];
+            now[i] = inj_end[i].max(arrival) + SimTime::from_ns(RECV_OVERHEAD_NS);
+        }
+    }
+    now
+}
+
+/// Prices a **scatter phase**: every member posts one message to every peer
+/// (peer order `(me+1) mod p, (me+2) mod p, …`), then drains its receives in
+/// arrival order. This is simultaneously:
+///
+/// * SpectrumMPI's basic-linear `MPI_Alltoallv` (post all, wait all),
+/// * the naive `Isend`/`Irecv` loop that implements `MPI_Alltoallw` in
+///   MPICH/SpectrumMPI for *any* size (paper §II), and
+/// * the heFFTe point-to-point backend (blocking or non-blocking flavor).
+///
+/// `extra_send_ns(i, j)` / `extra_recv_ns(i, j)` add per-message costs (e.g.
+/// derived-datatype assembly, GPU-aware registration). With `post_zero`,
+/// zero-byte pairs still pay posting/completion overheads (a collective must
+/// post every pair; heFFTe's hand-written P2P loop skips them).
+///
+/// The receive pass charges an **RX drain** per message — the receiving
+/// NIC/link absorbs bytes no faster than the sending one injects them — so
+/// naive scatters see incast pressure instead of free parallelism.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    entries: &[SimTime],
+    bytes: &dyn Fn(usize, usize) -> usize,
+    flavor: P2pFlavor,
+    post_zero: bool,
+    extra_send_ns: &dyn Fn(usize, usize) -> u64,
+    extra_recv_ns: &dyn Fn(usize, usize) -> u64,
+) -> Vec<SimTime> {
+    let p = group.len();
+    assert_eq!(entries.len(), p);
+    if p == 0 {
+        return Vec::new();
+    }
+
+    // Send pass: serialize each sender's injections; record arrivals.
+    let mut arrivals: Vec<Vec<(SimTime, usize)>> = vec![Vec::new(); p]; // per receiver: (arrival, src)
+    let mut send_done = vec![SimTime::ZERO; p];
+    for i in 0..p {
+        let mut t = entries[i] + SimTime::from_ns(selfcopy_ns(np, env, group[i], bytes(i, i)));
+        let mut nic = t;
+        for k in 1..p {
+            let j = (i + k) % p;
+            let b = bytes(i, j);
+            if b == 0 && !post_zero {
+                continue;
+            }
+            let post = t + SimTime::from_ns(SEND_OVERHEAD_NS + extra_send_ns(i, j));
+            let (inject, lat) = msg_parts(np, env, b, group[i], group[j]);
+            let start = post.max(nic);
+            let end = start + SimTime::from_ns(inject);
+            nic = end;
+            arrivals[j].push((end + SimTime::from_ns(lat), i));
+            t = match flavor {
+                P2pFlavor::Blocking => end,
+                P2pFlavor::NonBlocking => post,
+            };
+        }
+        send_done[i] = t.max(nic);
+    }
+
+    // Receive pass. The RX direction of the NIC drains arrivals in arrival
+    // order, concurrently with the member's own injections (links are full
+    // duplex); the CPU-side completion work (waitany matching, datatype
+    // unpack) serializes after the send loop.
+    let mut exit = vec![SimTime::ZERO; p];
+    for j in 0..p {
+        arrivals[j].sort_unstable();
+        let mut rx = entries[j];
+        let mut sw_ns = 0u64;
+        for &(arr, src) in &arrivals[j] {
+            let (drain, _lat) = msg_parts(np, env, bytes(src, j), group[src], group[j]);
+            rx = rx.max(arr) + SimTime::from_ns(drain);
+            sw_ns += RECV_OVERHEAD_NS + extra_recv_ns(src, j);
+        }
+        exit[j] = send_done[j].max(rx) + SimTime::from_ns(sw_ns);
+    }
+    exit
+}
+
+/// Prices a dissemination **barrier**: `⌈log₂ p⌉` zero-byte rounds.
+pub fn barrier_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    entries: &[SimTime],
+) -> Vec<SimTime> {
+    let p = group.len();
+    if p <= 1 {
+        return entries.to_vec();
+    }
+    let mut now = entries.to_vec();
+    let mut round = 1usize;
+    while round < p {
+        let mut arrive = vec![SimTime::ZERO; p];
+        for i in 0..p {
+            let dst = (i + round) % p;
+            let (_, lat) = msg_parts(np, env, 0, group[i], group[dst]);
+            arrive[dst] = arrive[dst]
+                .max(now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + lat));
+        }
+        for i in 0..p {
+            now[i] = now[i].max(arrive[i]) + SimTime::from_ns(RECV_OVERHEAD_NS);
+        }
+        round <<= 1;
+    }
+    now
+}
+
+/// Prices a binomial-tree style collective carrying `bytes` per hop
+/// (broadcast, reduce, allreduce ≈ 2× this): `⌈log₂ p⌉` sequential hops on
+/// the critical path. Returns the common exit time applied to all members.
+pub fn tree_time(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    entries: &[SimTime],
+    bytes: usize,
+    doubled: bool,
+) -> SimTime {
+    let p = group.len();
+    let start = entries.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    if p <= 1 {
+        return start;
+    }
+    let rounds = (usize::BITS - (p - 1).leading_zeros()) as u64;
+    let factor = if doubled { 2 } else { 1 };
+    // Representative hop: worst-case pair in the group (first and last).
+    let (inject, lat) = msg_parts(np, env, bytes, group[0], group[p - 1]);
+    let hop = SEND_OVERHEAD_NS + inject + lat + RECV_OVERHEAD_NS;
+    start + SimTime::from_ns(factor * rounds * hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::MachineSpec;
+
+    fn np(spec: &MachineSpec) -> NetParams<'_> {
+        NetParams::exact(spec)
+    }
+
+    fn zeros(p: usize) -> Vec<SimTime> {
+        vec![SimTime::ZERO; p]
+    }
+
+    #[test]
+    fn pairwise_exit_monotone_in_bytes() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..12).collect();
+        let small = pairwise_times(
+            &np(&spec),
+            &PhaseEnv::quiet(true),
+            &group,
+            &zeros(12),
+            &|_, _| 1 << 10,
+            0,
+        );
+        let large = pairwise_times(
+            &np(&spec),
+            &PhaseEnv::quiet(true),
+            &group,
+            &zeros(12),
+            &|_, _| 1 << 20,
+            0,
+        );
+        for (s, l) in small.iter().zip(&large) {
+            assert!(l > s);
+        }
+    }
+
+    #[test]
+    fn pairwise_symmetric_inputs_give_symmetric_exits() {
+        let spec = MachineSpec::summit();
+        // One full node: every pair intra-node, so all exits identical.
+        let group: Vec<usize> = (0..6).collect();
+        let exits = pairwise_times(
+            &np(&spec),
+            &PhaseEnv::quiet(true),
+            &group,
+            &zeros(6),
+            &|_, _| 4096,
+            0,
+        );
+        for e in &exits {
+            assert_eq!(*e, exits[0]);
+        }
+    }
+
+    #[test]
+    fn bruck_beats_pairwise_for_tiny_messages() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..48).collect();
+        let env = PhaseEnv::machine_wide(&spec, 48, 47, true, 1);
+        let per_pair = 64usize; // tiny: latency-dominated
+        let pw = pairwise_times(&np(&spec), &env, &group, &zeros(48), &|_, _| per_pair, 0);
+        let totals: Vec<usize> = vec![per_pair * 48; 48];
+        let br = bruck_times(&np(&spec), &env, &group, &zeros(48), &totals);
+        let pw_max = pw.iter().max().unwrap();
+        let br_max = br.iter().max().unwrap();
+        assert!(
+            br_max < pw_max,
+            "bruck {br_max:?} should beat pairwise {pw_max:?} for tiny messages"
+        );
+    }
+
+    #[test]
+    fn pairwise_beats_bruck_for_large_messages() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..24).collect();
+        let env = PhaseEnv::machine_wide(&spec, 24, 23, true, 1);
+        let per_pair = 4 << 20; // 4 MiB: bandwidth-dominated
+        let pw = pairwise_times(&np(&spec), &env, &group, &zeros(24), &|_, _| per_pair, 0);
+        let totals: Vec<usize> = vec![per_pair * 24; 24];
+        let br = bruck_times(&np(&spec), &env, &group, &zeros(24), &totals);
+        assert!(pw.iter().max().unwrap() < br.iter().max().unwrap());
+    }
+
+    #[test]
+    fn scatter_blocking_and_nonblocking_are_close() {
+        // Fig. 3/7: "not much difference when using blocking and
+        // non-blocking approaches".
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..24).collect();
+        let env = PhaseEnv::machine_wide(&spec, 24, 23, true, 2);
+        let b = scatter_times(
+            &np(&spec),
+            &env,
+            &group,
+            &zeros(24),
+            &|_, _| 1 << 20,
+            P2pFlavor::Blocking,
+            false,
+            &|_, _| 0,
+            &|_, _| 0,
+        );
+        let nb = scatter_times(
+            &np(&spec),
+            &env,
+            &group,
+            &zeros(24),
+            &|_, _| 1 << 20,
+            P2pFlavor::NonBlocking,
+            false,
+            &|_, _| 0,
+            &|_, _| 0,
+        );
+        let bm = b.iter().max().unwrap().as_ns() as f64;
+        let nbm = nb.iter().max().unwrap().as_ns() as f64;
+        assert!(
+            (bm / nbm - 1.0).abs() < 0.15,
+            "blocking {bm} vs non-blocking {nbm} should be within 15%"
+        );
+    }
+
+    #[test]
+    fn scatter_skips_zero_byte_pairs() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..8).collect();
+        let env = PhaseEnv::quiet(true);
+        let empty = scatter_times(
+            &np(&spec),
+            &env,
+            &group,
+            &zeros(8),
+            &|_, _| 0,
+            P2pFlavor::NonBlocking,
+            false,
+            &|_, _| 0,
+            &|_, _| 0,
+        );
+        assert!(empty.iter().all(|t| *t == SimTime::ZERO));
+    }
+
+    #[test]
+    fn entries_shift_exits() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..6).collect();
+        let env = PhaseEnv::quiet(true);
+        let base = pairwise_times(&np(&spec), &env, &group, &zeros(6), &|_, _| 1 << 16, 0);
+        let shifted_entries: Vec<SimTime> = vec![SimTime::from_us(100); 6];
+        let shifted =
+            pairwise_times(&np(&spec), &env, &group, &shifted_entries, &|_, _| 1 << 16, 0);
+        for (b, s) in base.iter().zip(&shifted) {
+            assert_eq!(s.as_ns() - b.as_ns(), 100_000);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_stragglers() {
+        let spec = MachineSpec::summit();
+        let group: Vec<usize> = (0..8).collect();
+        let mut entries = zeros(8);
+        entries[3] = SimTime::from_ms(1);
+        let exits = barrier_times(&np(&spec), &PhaseEnv::quiet(true), &group, &entries);
+        for e in &exits {
+            assert!(*e >= SimTime::from_ms(1), "exit {e} before straggler entry");
+        }
+    }
+
+    #[test]
+    fn tree_time_grows_with_group() {
+        let spec = MachineSpec::summit();
+        let env = PhaseEnv::quiet(true);
+        let g8: Vec<usize> = (0..8).collect();
+        let g64: Vec<usize> = (0..64).collect();
+        let t8 = tree_time(&np(&spec), &env, &g8, &zeros(8), 4096, false);
+        let t64 = tree_time(&np(&spec), &env, &g64, &zeros(64), 4096, false);
+        assert!(t64 > t8);
+    }
+
+    #[test]
+    fn jitter_changes_but_stays_deterministic() {
+        let spec = MachineSpec::summit();
+        let noisy = NetParams {
+            spec: &spec,
+            seed: 99,
+            noise_amp: 0.05,
+        };
+        let group: Vec<usize> = (0..12).collect();
+        let env = PhaseEnv::quiet(true);
+        let a = pairwise_times(&noisy, &env, &group, &zeros(12), &|_, _| 1 << 20, 0);
+        let b = pairwise_times(&noisy, &env, &group, &zeros(12), &|_, _| 1 << 20, 0);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        let exact = pairwise_times(
+            &NetParams::exact(&spec),
+            &env,
+            &group,
+            &zeros(12),
+            &|_, _| 1 << 20,
+            0,
+        );
+        assert_ne!(a, exact, "jitter should perturb the schedule");
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulated device/host memory spaces.
+//!
+//! Functional-mode rank programs keep their arrays in [`DeviceBuffer`]s so
+//! that the *location* of data is explicit, exactly like a CUDA program. The
+//! data itself lives in ordinary host memory (this is a simulation); what the
+//! buffer adds is (a) a tagged memory space and (b) modeled transfer times
+//! when data crosses the PCIe/NVLink boundary — the `device → host → host →
+//! device` path of the paper's non-GPU-aware experiments.
+
+use crate::machine::MachineSpec;
+use crate::time::{SimClock, SimTime};
+
+/// Where a buffer currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// GPU (HBM) memory.
+    Device,
+    /// Host (DDR) memory.
+    Host,
+}
+
+/// A typed buffer tagged with its memory space.
+#[derive(Debug, Clone)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    space: MemSpace,
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    /// Allocates a zero-initialized buffer of `len` elements in `space`.
+    pub fn zeroed(len: usize, space: MemSpace) -> DeviceBuffer<T> {
+        DeviceBuffer {
+            data: vec![T::default(); len],
+            space,
+        }
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Wraps an existing vector as a buffer in `space`.
+    pub fn from_vec(data: Vec<T>, space: MemSpace) -> DeviceBuffer<T> {
+        DeviceBuffer { data, space }
+    }
+
+    /// Current memory space.
+    pub fn space(&self) -> MemSpace {
+        self.space
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of_val(self.data.as_slice())
+    }
+
+    /// Read access to the elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Write access to the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Moves the buffer to `target`, advancing `clock` by the modeled
+    /// host-link transfer time (a no-op if it is already there).
+    pub fn migrate(&mut self, target: MemSpace, spec: &MachineSpec, clock: &mut SimClock) {
+        if self.space == target {
+            return;
+        }
+        let ns = host_transfer_ns(spec, self.bytes());
+        clock.advance(SimTime::from_ns(ns));
+        self.space = target;
+    }
+}
+
+/// Time (ns) to move `bytes` across the GPU↔host link (one direction).
+pub fn host_transfer_ns(spec: &MachineSpec, bytes: usize) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    spec.staging_latency_ns + (bytes as f64 / spec.host_link_gbs).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_basics() {
+        let b: DeviceBuffer<f64> = DeviceBuffer::zeroed(8, MemSpace::Device);
+        assert_eq!(b.len(), 8);
+        assert!(!b.is_empty());
+        assert_eq!(b.bytes(), 64);
+        assert_eq!(b.space(), MemSpace::Device);
+    }
+
+    #[test]
+    fn migrate_advances_clock_once() {
+        let spec = MachineSpec::summit();
+        let mut clock = SimClock::new();
+        let mut b: DeviceBuffer<u8> = DeviceBuffer::zeroed(50 << 20, MemSpace::Device);
+
+        b.migrate(MemSpace::Host, &spec, &mut clock);
+        let t1 = clock.now();
+        assert!(t1 > SimTime::ZERO);
+        // 50 MiB at 50 GB/s ≈ 1.05 ms.
+        assert!((t1.as_ms() - 1.05).abs() < 0.1, "t1 = {t1}");
+
+        // Already on host: free.
+        b.migrate(MemSpace::Host, &spec, &mut clock);
+        assert_eq!(clock.now(), t1);
+
+        b.migrate(MemSpace::Device, &spec, &mut clock);
+        assert!(clock.now() > t1);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        assert_eq!(host_transfer_ns(&MachineSpec::summit(), 0), 0);
+    }
+
+    #[test]
+    fn from_vec_into_vec_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let b = DeviceBuffer::from_vec(v.clone(), MemSpace::Host);
+        assert_eq!(b.into_vec(), v);
+    }
+}

@@ -1,0 +1,304 @@
+//! Machine descriptions: node layout, link speeds, fabric behaviour.
+
+use fftkern::kernel_model::{GpuModel, KernelTimeModel};
+
+/// Behavioural parameters of the inter-node fabric.
+///
+/// Summit's fat tree is *non-blocking* in theory; in practice per-flow
+/// efficiency degrades slowly as more nodes participate (adaptive-routing
+/// collisions, rail imbalance). The paper observes exactly this: "network
+/// saturation causes an exponential decrease in the average bandwidth
+/// achieved by each process" (§III, Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricModel {
+    /// Per-flow efficiency loss per doubling of participating nodes
+    /// (0.0 = ideal non-blocking fabric).
+    pub saturation_per_doubling: f64,
+    /// Floor on fabric efficiency, whatever the scale.
+    pub min_efficiency: f64,
+}
+
+impl FabricModel {
+    /// Efficiency multiplier (≤1) for an exchange spanning `nodes` nodes.
+    pub fn efficiency(&self, nodes: usize) -> f64 {
+        if nodes <= 1 {
+            return 1.0;
+        }
+        let doublings = (nodes as f64).log2();
+        (1.0 - self.saturation_per_doubling * doublings).max(self.min_efficiency)
+    }
+}
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Machine name ("Summit", "Spock", …).
+    pub name: &'static str,
+    /// GPUs (= MPI ranks, 1 rank per GPU) per node.
+    pub gpus_per_node: usize,
+    /// Accelerator model installed in every node.
+    pub gpu: GpuModel,
+    /// GPU↔GPU bandwidth within a node, GB/s per direction
+    /// (NVLink on Summit: 50 GB/s).
+    pub intra_link_gbs: f64,
+    /// GPU↔host bandwidth, GB/s per direction (V100↔P9 NVLink: 50 GB/s).
+    pub host_link_gbs: f64,
+    /// Practical per-node injection bandwidth of the NIC, GB/s
+    /// (Summit dual-rail EDR: ≈23.5 GB/s).
+    pub nic_gbs: f64,
+    /// Point-to-point latency between GPUs on the same node, ns.
+    pub intra_latency_ns: u64,
+    /// Point-to-point latency between nodes, ns (paper uses 1 µs).
+    pub inter_latency_ns: u64,
+    /// Extra one-way latency added when a message must be staged through
+    /// host memory (non-GPU-aware path), ns.
+    pub staging_latency_ns: u64,
+    /// Fabric saturation behaviour.
+    pub fabric: FabricModel,
+    /// Per-message bookkeeping cost of a GPU-aware point-to-point transfer
+    /// (GPUDirect registration/rendezvous), ns. Grows with peer count —
+    /// see [`MachineSpec::p2p_gpu_aware_overhead_ns`]; this is why GPU-aware
+    /// P2P stops scaling in Fig. 9.
+    pub p2p_gpu_aware_base_ns: u64,
+    /// Number of simultaneously-active GPU-aware P2P peers a rank can
+    /// sustain before per-message overhead starts growing quadratically.
+    pub p2p_gpu_aware_peer_knee: usize,
+    /// Quadratic growth coefficient of the past-knee GPU-aware P2P
+    /// overhead (per excess peer squared, in units of the base cost).
+    pub p2p_gpu_aware_quad: f64,
+    /// Protocol ramp for inter-node messages, bytes: per-message protocol
+    /// cost of `ramp / nic_gbs`, modeling that mid-size messages do not
+    /// reach peak link bandwidth (rendezvous handshakes, pipelining). This
+    /// is the physics behind the paper's batching speedups (Fig. 13):
+    /// coalescing a batch's small messages amortizes it.
+    pub proto_ramp_inter_bytes: usize,
+    /// Protocol ramp for intra-node (NVLink/xGMI) messages, bytes.
+    pub proto_ramp_intra_bytes: usize,
+    /// Per-MPI-call device synchronization overhead on GPU buffers, ns
+    /// (stream sync, buffer-handle lookup, progress-engine entry). Paid
+    /// once per collective/exchange call, so batched transforms that
+    /// coalesce a whole batch into one exchange amortize it — a key part of
+    /// the Fig. 13 batching speedups.
+    pub gpu_call_sync_ns: u64,
+}
+
+impl MachineSpec {
+    /// Summit: 2 × POWER9 + 6 × V100 per node, NVLink 50 GB/s per direction,
+    /// dual-rail EDR InfiniBand ≈ 23.5 GB/s practical per node, non-blocking
+    /// fat tree (paper §II-A).
+    pub fn summit() -> MachineSpec {
+        MachineSpec {
+            name: "Summit",
+            gpus_per_node: 6,
+            gpu: GpuModel::v100(),
+            intra_link_gbs: 50.0,
+            host_link_gbs: 50.0,
+            nic_gbs: 23.5,
+            intra_latency_ns: 500,
+            inter_latency_ns: 1_000,
+            staging_latency_ns: 1_500,
+            fabric: FabricModel {
+                saturation_per_doubling: 0.055,
+                min_efficiency: 0.35,
+            },
+            p2p_gpu_aware_base_ns: 800,
+            p2p_gpu_aware_peer_knee: 16,
+            p2p_gpu_aware_quad: 3.0,
+            proto_ramp_inter_bytes: 64 << 10,
+            proto_ramp_intra_bytes: 16 << 10,
+            gpu_call_sync_ns: 60_000,
+        }
+    }
+
+    /// Spock (Frontier precursor): 4 × MI100 per node, Infinity Fabric
+    /// intra-node, Slingshot-class NIC (paper §II-A).
+    pub fn spock() -> MachineSpec {
+        MachineSpec {
+            name: "Spock",
+            gpus_per_node: 4,
+            gpu: GpuModel::mi100(),
+            intra_link_gbs: 46.0,
+            host_link_gbs: 32.0,
+            nic_gbs: 12.5,
+            intra_latency_ns: 600,
+            inter_latency_ns: 1_100,
+            staging_latency_ns: 1_800,
+            fabric: FabricModel {
+                saturation_per_doubling: 0.05,
+                min_efficiency: 0.4,
+            },
+            p2p_gpu_aware_base_ns: 1_000,
+            p2p_gpu_aware_peer_knee: 12,
+            p2p_gpu_aware_quad: 3.0,
+            proto_ramp_inter_bytes: 64 << 10,
+            proto_ramp_intra_bytes: 16 << 10,
+            gpu_call_sync_ns: 60_000,
+        }
+    }
+
+    /// A Frontier-class projection (the paper's §II-A: "Spock is a precursor
+    /// of the upcoming Frontier machine, expected to have exascale
+    /// performance"): 8 effective GPUs per node (4 dual-die MI250X), faster
+    /// Infinity Fabric, Slingshot-11 NICs. Used by the exascale-projection
+    /// harness; numbers are public-spec estimates, not measurements.
+    pub fn frontier_projection() -> MachineSpec {
+        MachineSpec {
+            name: "Frontier(projection)",
+            gpus_per_node: 8,
+            gpu: GpuModel {
+                name: "MI250X-die",
+                fp64_tflops: 24.0,
+                mem_bw_gbs: 1600.0,
+                launch_ns: 4_000,
+                fft_flop_efficiency: 0.45,
+                strided_bw_factor: 0.16,
+                plan_setup_ns: 150_000,
+            },
+            intra_link_gbs: 100.0,
+            host_link_gbs: 36.0,
+            nic_gbs: 4.0 * 25.0, // 4x Slingshot-11 per node
+            intra_latency_ns: 500,
+            inter_latency_ns: 900,
+            staging_latency_ns: 1_500,
+            fabric: FabricModel {
+                saturation_per_doubling: 0.05,
+                min_efficiency: 0.35,
+            },
+            p2p_gpu_aware_base_ns: 700,
+            p2p_gpu_aware_peer_knee: 24,
+            p2p_gpu_aware_quad: 3.0,
+            proto_ramp_inter_bytes: 64 << 10,
+            proto_ramp_intra_bytes: 16 << 10,
+            gpu_call_sync_ns: 50_000,
+        }
+    }
+
+    /// A small CPU-only test machine: fast to simulate functionally, useful
+    /// for unit tests that don't care about GPU numbers.
+    pub fn testbox(gpus_per_node: usize) -> MachineSpec {
+        MachineSpec {
+            name: "testbox",
+            gpus_per_node,
+            gpu: GpuModel::host_cpu(),
+            intra_link_gbs: 10.0,
+            host_link_gbs: 10.0,
+            nic_gbs: 5.0,
+            intra_latency_ns: 200,
+            inter_latency_ns: 1_000,
+            staging_latency_ns: 500,
+            fabric: FabricModel {
+                saturation_per_doubling: 0.05,
+                min_efficiency: 0.5,
+            },
+            p2p_gpu_aware_base_ns: 500,
+            p2p_gpu_aware_peer_knee: 32,
+            p2p_gpu_aware_quad: 2.0,
+            proto_ramp_inter_bytes: 32 << 10,
+            proto_ramp_intra_bytes: 8 << 10,
+            gpu_call_sync_ns: 5_000,
+        }
+    }
+
+    /// Node index hosting `rank` (ranks are packed node by node, 1 per GPU).
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+
+    /// True when two ranks share a node (their traffic stays on NVLink).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of nodes needed for `ranks` ranks.
+    pub fn nodes_for(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.gpus_per_node)
+    }
+
+    /// Kernel-time model for this machine's GPU.
+    pub fn kernel_model(&self) -> KernelTimeModel {
+        KernelTimeModel::new(self.gpu.clone())
+    }
+
+    /// Per-message overhead (ns) of a GPU-aware P2P transfer when a rank is
+    /// exchanging with `peers` distinct peers in one phase.
+    ///
+    /// Below the knee this is a small constant; above it, GPUDirect
+    /// registration caches thrash and the cost grows with the square of the
+    /// excess — reproducing the Fig. 9 observation that "Point-to-Point
+    /// approaches fail when using GPU-aware MPI" at large scale while the
+    /// staged (non-GPU-aware) path keeps scaling.
+    pub fn p2p_gpu_aware_overhead_ns(&self, peers: usize) -> u64 {
+        let base = self.p2p_gpu_aware_base_ns;
+        if peers <= self.p2p_gpu_aware_peer_knee {
+            return base;
+        }
+        let excess = (peers - self.p2p_gpu_aware_peer_knee) as f64;
+        base + (base as f64 * self.p2p_gpu_aware_quad * excess * excess).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_matches_paper_constants() {
+        let s = MachineSpec::summit();
+        assert_eq!(s.gpus_per_node, 6);
+        assert_eq!(s.intra_link_gbs, 50.0);
+        assert_eq!(s.nic_gbs, 23.5);
+        assert_eq!(s.inter_latency_ns, 1_000);
+        assert_eq!(s.gpu.name, "V100");
+    }
+
+    #[test]
+    fn spock_matches_paper_constants() {
+        let s = MachineSpec::spock();
+        assert_eq!(s.gpus_per_node, 4);
+        assert_eq!(s.gpu.name, "MI100");
+    }
+
+    #[test]
+    fn frontier_projection_outclasses_summit() {
+        let f = MachineSpec::frontier_projection();
+        let s = MachineSpec::summit();
+        assert!(f.gpu.fp64_tflops > s.gpu.fp64_tflops);
+        assert!(f.nic_gbs > s.nic_gbs);
+        assert_eq!(f.gpus_per_node, 8);
+    }
+
+    #[test]
+    fn node_mapping() {
+        let s = MachineSpec::summit();
+        assert_eq!(s.node_of(0), 0);
+        assert_eq!(s.node_of(5), 0);
+        assert_eq!(s.node_of(6), 1);
+        assert!(s.same_node(0, 5));
+        assert!(!s.same_node(5, 6));
+        assert_eq!(s.nodes_for(768), 128);
+        assert_eq!(s.nodes_for(7), 2);
+        assert_eq!(s.nodes_for(6), 1);
+    }
+
+    #[test]
+    fn fabric_efficiency_decays_but_floors() {
+        let f = MachineSpec::summit().fabric;
+        assert_eq!(f.efficiency(1), 1.0);
+        assert!(f.efficiency(2) < 1.0);
+        assert!(f.efficiency(128) < f.efficiency(16));
+        assert!(f.efficiency(1 << 20) >= 0.35);
+    }
+
+    #[test]
+    fn gpu_aware_p2p_overhead_explodes_past_knee() {
+        let s = MachineSpec::summit();
+        let small = s.p2p_gpu_aware_overhead_ns(8);
+        let at_knee = s.p2p_gpu_aware_overhead_ns(16);
+        let past = s.p2p_gpu_aware_overhead_ns(48);
+        assert_eq!(small, at_knee);
+        assert!(
+            past > 20 * at_knee,
+            "past-knee overhead {past} should dwarf {at_knee}"
+        );
+    }
+}

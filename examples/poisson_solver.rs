@@ -1,0 +1,51 @@
+//! HACC-style spectral Poisson solve on the simulated cluster.
+//!
+//! Solves `∇²φ = ρ` on a 32³ periodic grid over 8 simulated ranks: forward
+//! distributed FFT, Green's-function multiply (`−1/|k|²`), inverse
+//! distributed FFT. The result is verified against the serial solver and
+//! against an analytic single-mode solution.
+//!
+//! Run with: `cargo run --release --example poisson_solver`
+
+use fftkern::C64;
+use miniapps::poisson::{solve_poisson_distributed, test_density};
+use distfft::plan::FftOptions;
+use simgrid::MachineSpec;
+
+fn main() {
+    let n = [32usize, 32, 32];
+    let ranks = 8;
+    let machine = MachineSpec::summit();
+
+    // A multi-mode zero-mean density.
+    let rho = test_density(n);
+    let res = solve_poisson_distributed(&machine, ranks, n, FftOptions::default(), &rho);
+    println!(
+        "multi-mode density: rel. L2 error vs serial solver = {:.2e}, simulated time {}",
+        res.rel_error, res.time
+    );
+    assert!(res.rel_error < 1e-12);
+
+    // Analytic check: rho = sin(2*pi*x) => phi = -sin(2*pi*x)/(2*pi)^2.
+    let tau = 2.0 * std::f64::consts::PI;
+    let mut rho1 = Vec::with_capacity(n[0] * n[1] * n[2]);
+    let mut phi_exact = Vec::with_capacity(n[0] * n[1] * n[2]);
+    for i0 in 0..n[0] {
+        for _ in 0..n[1] * n[2] {
+            let x = i0 as f64 / n[0] as f64;
+            rho1.push(C64::real((tau * x).sin()));
+            phi_exact.push(-(tau * x).sin() / (tau * tau));
+        }
+    }
+    let res1 = solve_poisson_distributed(&machine, ranks, n, FftOptions::default(), &rho1);
+    let max_err = res1
+        .phi
+        .iter()
+        .zip(&phi_exact)
+        .map(|(got, want)| (got.re - want).abs().max(got.im.abs()))
+        .fold(0.0, f64::max);
+    println!("single-mode density: max error vs analytic solution = {max_err:.2e}");
+    assert!(max_err < 1e-12);
+
+    println!("Poisson solve verified on {ranks} simulated ranks.");
+}

@@ -1,0 +1,298 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use distfft::boxes::Box3;
+use distfft::plan::{CommBackend, FftOptions, FftPlan};
+use distfft::procgrid::{closest_factor_pair, min_surface_grid, Distribution};
+use distfft::reshape::ReshapeSpec;
+use fftkern::complex::max_abs_diff;
+use fftkern::plan::{Direction, Plan1d};
+use fftkern::{C64, Plan3d};
+use mpisim::Subarray;
+use proptest::prelude::*;
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| C64::new(re, im))
+}
+
+fn signal(n: usize) -> impl Strategy<Value = Vec<C64>> {
+    proptest::collection::vec(arb_c64(), n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---------------- FFT engine properties ----------------
+
+    /// Forward+inverse round trip scales by N for any size 1..=96.
+    #[test]
+    fn fft_roundtrip_any_size(n in 1usize..=96, seed in 0u64..1000) {
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new(((i as u64 + seed) % 17) as f64, ((i as u64 * seed) % 13) as f64))
+            .collect();
+        let plan = Plan1d::contiguous(n, 1);
+        let mut y = x.clone();
+        plan.execute_inplace(&mut y, Direction::Forward);
+        plan.execute_inplace(&mut y, Direction::Inverse);
+        let expect: Vec<C64> = x.iter().map(|v| v.scale(n as f64)).collect();
+        prop_assert!(max_abs_diff(&y, &expect) < 1e-7 * (n as f64).max(1.0));
+    }
+
+    /// Linearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
+    #[test]
+    fn fft_linearity(x in signal(32), y in signal(32), a in arb_c64()) {
+        let plan = Plan1d::contiguous(32, 1);
+        let mut combo: Vec<C64> = x.iter().zip(&y).map(|(u, v)| *u * a + *v).collect();
+        plan.execute_inplace(&mut combo, Direction::Forward);
+        let mut fx = x;
+        plan.execute_inplace(&mut fx, Direction::Forward);
+        let mut fy = y;
+        plan.execute_inplace(&mut fy, Direction::Forward);
+        let expect: Vec<C64> = fx.iter().zip(&fy).map(|(u, v)| *u * a + *v).collect();
+        prop_assert!(max_abs_diff(&combo, &expect) < 1e-6);
+    }
+
+    /// Parseval: time-domain and (normalized) frequency-domain energy agree.
+    #[test]
+    fn fft_parseval(x in signal(48)) {
+        let te: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let plan = Plan1d::contiguous(48, 1);
+        let mut spec = x;
+        plan.execute_inplace(&mut spec, Direction::Forward);
+        let fe: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 48.0;
+        prop_assert!((te - fe).abs() < 1e-6 * te.max(1.0));
+    }
+
+    /// Convolution theorem: FFT(x ⊛ y) = FFT(x)·FFT(y) (circular).
+    #[test]
+    fn fft_convolution_theorem(x in signal(16), y in signal(16)) {
+        let n = 16;
+        // Direct circular convolution.
+        let mut conv = vec![C64::ZERO; n];
+        for (k, c) in conv.iter_mut().enumerate() {
+            for j in 0..n {
+                *c += x[j] * y[(k + n - j) % n];
+            }
+        }
+        let plan = Plan1d::contiguous(n, 1);
+        let mut fc = conv;
+        plan.execute_inplace(&mut fc, Direction::Forward);
+        let mut fx = x;
+        plan.execute_inplace(&mut fx, Direction::Forward);
+        let mut fy = y;
+        plan.execute_inplace(&mut fy, Direction::Forward);
+        let prod: Vec<C64> = fx.iter().zip(&fy).map(|(u, v)| *u * *v).collect();
+        prop_assert!(max_abs_diff(&fc, &prod) < 1e-5);
+    }
+
+    /// 3-D transform equals three sequential 1-D passes in any axis order
+    /// (separability) — checked via the 3-D plan against per-axis plans.
+    #[test]
+    fn fft3d_separable(n0 in 2usize..=6, n1 in 2usize..=6, n2 in 2usize..=6, seed in 0u64..100) {
+        let total = n0 * n1 * n2;
+        let x: Vec<C64> = (0..total)
+            .map(|i| C64::new(((i as u64 ^ seed) % 11) as f64, (i % 7) as f64))
+            .collect();
+        let mut a = x.clone();
+        Plan3d::new(n0, n1, n2).execute(&mut a, Direction::Forward);
+        let slow = fftkern::dft::dft_nd(&x, &[n0, n1, n2], Direction::Forward);
+        prop_assert!(max_abs_diff(&a, &slow) < 1e-7 * total as f64);
+    }
+
+    // ---------------- Box and distribution properties ----------------
+
+    /// Axis chunking partitions [0, n) exactly.
+    #[test]
+    fn chunks_partition(n in 0usize..500, parts in 1usize..20) {
+        let mut cursor = 0;
+        for idx in 0..parts {
+            let (lo, hi) = Box3::chunk(n, parts, idx);
+            prop_assert_eq!(lo, cursor);
+            prop_assert!(hi >= lo);
+            cursor = hi;
+        }
+        prop_assert_eq!(cursor, n);
+    }
+
+    /// Any processor grid yields a disjoint exact cover of the domain.
+    #[test]
+    fn distribution_partitions(
+        n0 in 1usize..24, n1 in 1usize..24, n2 in 1usize..24,
+        g0 in 1usize..4, g1 in 1usize..4, g2 in 1usize..4,
+    ) {
+        let nranks = g0 * g1 * g2;
+        let d = Distribution::new([n0, n1, n2], [g0, g1, g2], nranks);
+        prop_assert_eq!(d.total_volume(), n0 * n1 * n2);
+        for i in 0..nranks {
+            for j in (i + 1)..nranks {
+                prop_assert!(d.boxes[i].intersect(&d.boxes[j]).is_empty());
+            }
+        }
+    }
+
+    /// A reshape between any two grids conserves every element: per-rank
+    /// receive volumes rebuild the target boxes exactly, and flows balance.
+    #[test]
+    fn reshape_conserves_volume(
+        n0 in 2usize..16, n1 in 2usize..16, n2 in 2usize..16,
+        ga in 1usize..4, gb in 1usize..4, gc in 1usize..4,
+        ha in 1usize..4, hb in 1usize..4, hc in 1usize..4,
+    ) {
+        let nranks = (ga * gb * gc).max(ha * hb * hc);
+        let from = Distribution::new([n0, n1, n2], [ga, gb, gc], nranks);
+        let to = Distribution::new([n0, n1, n2], [ha, hb, hc], nranks);
+        let rs = ReshapeSpec::build(&from, &to);
+        let sent: usize = rs.sends.iter().flatten().map(|(_, b)| b.volume()).sum();
+        prop_assert_eq!(sent, n0 * n1 * n2);
+        for r in 0..nranks {
+            let recv: usize = rs.recvs[r].iter().map(|(_, b)| b.volume()).sum();
+            prop_assert_eq!(recv, to.boxes[r].volume());
+        }
+    }
+
+    /// The closest factor pair multiplies back and is optimal.
+    #[test]
+    fn factor_pair_optimal(n in 1usize..5000) {
+        let (p, q) = closest_factor_pair(n);
+        prop_assert_eq!(p * q, n);
+        prop_assert!(p <= q);
+        // No factor pair strictly between p and q exists.
+        for cand in (p + 1)..=((n as f64).sqrt() as usize) {
+            prop_assert!(n % cand != 0 || cand == p, "better pair {cand} x {}", n / cand);
+        }
+    }
+
+    /// Minimum-surface grids multiply to the rank count and never beat a
+    /// brute-force check on small counts.
+    #[test]
+    fn min_surface_is_minimal(n in 1usize..200) {
+        let dims = [64usize, 64, 64];
+        let g = min_surface_grid(n, dims);
+        prop_assert_eq!(g.iter().product::<usize>(), n);
+        let surf = |grid: [usize; 3]| {
+            let l = [
+                dims[0] as f64 / grid[0] as f64,
+                dims[1] as f64 / grid[1] as f64,
+                dims[2] as f64 / grid[2] as f64,
+            ];
+            l[0] * l[1] + l[1] * l[2] + l[0] * l[2]
+        };
+        let best = surf(g);
+        for a in 1..=n {
+            if n % a != 0 { continue; }
+            for b in 1..=(n / a) {
+                if (n / a) % b != 0 { continue; }
+                let c = n / a / b;
+                prop_assert!(best <= surf([a, b, c]) + 1e-9);
+            }
+        }
+    }
+
+    // ---------------- Datatype properties ----------------
+
+    /// Subarray pack/unpack is the identity on the selected block.
+    #[test]
+    fn subarray_roundtrip(
+        s0 in 1usize..6, s1 in 1usize..6, s2 in 1usize..6,
+        f0 in 1usize..6, f1 in 1usize..6, f2 in 1usize..6,
+    ) {
+        let sizes = [s0 + f0, s1 + f1, s2 + f2];
+        let dt = Subarray::new(sizes, [s0, s1, s2], [f0.min(sizes[0] - s0), f1.min(sizes[1] - s1), f2.min(sizes[2] - s2)]);
+        let parent: Vec<u64> = (0..sizes.iter().product::<usize>() as u64).collect();
+        let packed = dt.pack(&parent);
+        prop_assert_eq!(packed.len(), dt.elem_count());
+        let mut target = vec![u64::MAX; parent.len()];
+        dt.unpack(&packed, &mut target);
+        prop_assert_eq!(dt.pack(&target), packed);
+    }
+
+    // ---------------- Plan invariants ----------------
+
+    /// Every plan transforms each axis exactly once, its reshapes chain the
+    /// distribution sequence, and the exchange count matches the
+    /// decomposition arithmetic.
+    #[test]
+    fn plan_structure_invariants(
+        // ranks capped at n1*n2's minimum (16) so every pencil grid fits.
+        ranks in 1usize..=16,
+        n0 in 4usize..16, n1 in 4usize..16, n2 in 4usize..16,
+        backend_sel in 0usize..4,
+    ) {
+        let backend = [
+            CommBackend::AllToAll,
+            CommBackend::AllToAllV,
+            CommBackend::P2p,
+            CommBackend::P2pBlocking,
+        ][backend_sel];
+        let plan = FftPlan::build([n0, n1, n2], ranks, FftOptions {
+            backend,
+            ..FftOptions::default()
+        });
+        // Axes covered exactly once.
+        let mut axes: Vec<usize> = plan.steps.iter().filter_map(|s| match s {
+            distfft::plan::Step::LocalFft { axis, .. } => Some(*axis),
+            _ => None,
+        }).collect();
+        axes.sort_unstable();
+        prop_assert_eq!(axes, vec![0, 1, 2]);
+        // Each distribution covers the domain.
+        for d in &plan.dists {
+            prop_assert_eq!(d.total_volume(), n0 * n1 * n2);
+        }
+        // Reshape count = dists - 1.
+        prop_assert_eq!(plan.reshapes.len(), plan.dists.len() - 1);
+        prop_assert_eq!(plan.reshapes_rev.len(), plan.reshapes.len());
+    }
+}
+
+// ---------------- Cost-model monotonicity (plain tests over ranges) -------
+
+#[test]
+fn model_times_monotone_in_problem_size() {
+    use fftmodels::bandwidth::{t_pencils, t_slabs, ModelParams};
+    let p = ModelParams::summit();
+    let mut prev_s = 0.0;
+    let mut prev_p = 0.0;
+    for k in 1..=20 {
+        let n = (k * k * k * 1000) as f64;
+        let ts = t_slabs(n, 96, &p);
+        let tp = t_pencils(n, 8, 12, &p);
+        assert!(ts > prev_s && tp > prev_p, "model not monotone at n={n}");
+        prev_s = ts;
+        prev_p = tp;
+    }
+}
+
+#[test]
+fn message_time_monotone_in_bytes_and_flows() {
+    use simgrid::link::{message_time_ns, TransferCtx};
+    use simgrid::MachineSpec;
+    let s = MachineSpec::summit();
+    let mut prev = 0;
+    for k in 1..=30 {
+        let ctx = TransferCtx {
+            gpu_aware: true,
+            offnode_flows_per_nic: 3,
+            nodes_involved: 8,
+        };
+        let t = message_time_ns(&s, k * 100_000, 0, 6, &ctx);
+        assert!(t >= prev);
+        prev = t;
+    }
+    // More flows never make a message faster.
+    for flows in 1..=6 {
+        let ctx = TransferCtx {
+            gpu_aware: true,
+            offnode_flows_per_nic: flows,
+            nodes_involved: 8,
+        };
+        let t = message_time_ns(&s, 1 << 20, 0, 6, &ctx);
+        assert!(t >= prev || flows == 1);
+        if flows == 1 {
+            prev = t;
+        } else {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}
