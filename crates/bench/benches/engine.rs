@@ -5,10 +5,10 @@
 //! paper's numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use mpisim::pattern::{self, NetParams, PhaseEnv};
 use simgrid::{MachineSpec, SimTime};
@@ -87,7 +87,13 @@ fn bench_functional_executor(c: &mut Criterion) {
                 let vol = plan.dists[0].rank_box(rank.rank()).volume();
                 let mut data = vec![vec![C64::ONE; vol]];
                 execute(
-                    &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+                    &plan,
+                    &bound,
+                    &mut ctx,
+                    rank,
+                    &comm,
+                    &mut data,
+                    Direction::Forward,
                 )
                 .total
             })

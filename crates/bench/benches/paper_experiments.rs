@@ -174,20 +174,8 @@ fn fig12_rhodopsin(c: &mut Criterion) {
 
 fn fig13_batching(c: &mut Criterion) {
     small(c, "fig13_batched_64cubed", || {
-        let _ = batching_comparison(
-            &MachineSpec::summit(),
-            N64,
-            24,
-            16,
-            &FftOptions::default(),
-        );
-        let _ = batching_comparison(
-            &MachineSpec::spock(),
-            N64,
-            16,
-            16,
-            &FftOptions::default(),
-        );
+        let _ = batching_comparison(&MachineSpec::summit(), N64, 24, 16, &FftOptions::default());
+        let _ = batching_comparison(&MachineSpec::spock(), N64, 16, 16, &FftOptions::default());
     });
 }
 

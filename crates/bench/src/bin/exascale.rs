@@ -58,9 +58,16 @@ fn main() {
             "Frontier best (s)",
             "Frontier setting",
         ]);
-        for nodes in [16usize, 64, 256, 1024] {
-            let (ts, ss) = best(&summit, n, nodes * summit.gpus_per_node);
-            let (tf, sf) = best(&frontier, n, nodes * frontier.gpus_per_node);
+        // Each (node count, machine) cell dry-runs independently.
+        let nodes_ladder = [16usize, 64, 256, 1024];
+        let rows = fftmodels::par_map(&nodes_ladder, |&nodes| {
+            (
+                nodes,
+                best(&summit, n, nodes * summit.gpus_per_node),
+                best(&frontier, n, nodes * frontier.gpus_per_node),
+            )
+        });
+        for (nodes, (ts, ss), (tf, sf)) in rows {
             t.row(vec![
                 format!("{nodes}"),
                 format!("{}", nodes * summit.gpus_per_node),

@@ -24,8 +24,7 @@ fn side(m: &MachineSpec, node_counts: &[usize], batch: usize) {
     ]);
     for &nodes in node_counts {
         let ranks = nodes * m.gpus_per_node;
-        let (batched, single) =
-            batching_comparison(m, N64, ranks, batch, &FftOptions::default());
+        let (batched, single) = batching_comparison(m, N64, ranks, batch, &FftOptions::default());
         t.row(vec![
             format!("{nodes}"),
             format!("{ranks}"),

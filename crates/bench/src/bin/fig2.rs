@@ -4,8 +4,8 @@
 //! complex-to-complex FFT on 24 V100s (4 Summit nodes). 10 transforms ×
 //! 4 reshapes = 40 MPI calls.
 
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
-use distfft::dryrun::{DryRunner, DryRunOpts};
 use distfft::trace::Trace;
 use fft_bench::{banner, TextTable, N512, PAIRS, WARMUPS};
 use fftkern::Direction;
@@ -53,12 +53,7 @@ fn main() {
     let a2av = per_call(&m, CommBackend::AllToAllV, MpiDistro::SpectrumMpi);
     let a2aw = per_call(&m, CommBackend::AllToAllW, MpiDistro::MvapichGdr);
 
-    let mut t = TextTable::new(&[
-        "call",
-        "Alltoall (s)",
-        "Alltoallv (s)",
-        "Alltoallw (s)",
-    ]);
+    let mut t = TextTable::new(&["call", "Alltoall (s)", "Alltoallv (s)", "Alltoallw (s)"]);
     let ncalls = a2a.len().min(a2av.len()).min(a2aw.len());
     for i in 0..ncalls {
         t.row(vec![

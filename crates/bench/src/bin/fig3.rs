@@ -5,8 +5,8 @@
 //! not much difference when using blocking and non-blocking approaches".
 
 use distfft::plan::{CommBackend, FftOptions};
-use fft_bench::{banner, protocol_traces, TextTable, N512};
 use distfft::trace::Trace;
+use fft_bench::{banner, protocol_traces, TextTable, N512};
 use simgrid::MachineSpec;
 
 fn main() {

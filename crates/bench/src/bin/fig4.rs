@@ -8,8 +8,8 @@
 //! observation to reproduce: "network saturation causes an exponential
 //! decrease in the average bandwidth achieved by each process".
 
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{CommBackend, FftOptions, FftPlan};
-use distfft::dryrun::{DryRunner, DryRunOpts};
 use distfft::procgrid::closest_factor_pair;
 use distfft::trace::TraceEvent;
 use fft_bench::{banner, table3_ranks, TextTable, N512};
@@ -75,18 +75,27 @@ fn main() {
         "P2P aware (GB/s)",
         "P2P staged (GB/s)",
     ]);
-    let mut first_a2a = None;
-    let mut last_a2a = None;
-    for ranks in table3_ranks().into_iter().filter(|&r| r <= 768) {
+    // Each row is an independent set of dry runs: evaluate them in
+    // parallel, emit in ladder order (identical output to a serial sweep).
+    let ladder: Vec<usize> = table3_ranks().into_iter().filter(|&r| r <= 768).collect();
+    let rows = fftmodels::par_map(&ladder, |&ranks| {
         let (p, q) = closest_factor_pair(ranks);
         let bw = |backend, aware| {
             let tmeas = pencil_comm_time(&m, ranks, backend, aware);
             b_pencils(n_total, p, q, tmeas, latency) / 1e9
         };
-        let a2a_aware = bw(CommBackend::AllToAllV, true);
-        let a2a_staged = bw(CommBackend::AllToAllV, false);
-        let p2p_aware = bw(CommBackend::P2p, true);
-        let p2p_staged = bw(CommBackend::P2p, false);
+        (
+            ranks,
+            (p, q),
+            bw(CommBackend::AllToAllV, true),
+            bw(CommBackend::AllToAllV, false),
+            bw(CommBackend::P2p, true),
+            bw(CommBackend::P2p, false),
+        )
+    });
+    let mut first_a2a = None;
+    let mut last_a2a = None;
+    for (ranks, (p, q), a2a_aware, a2a_staged, p2p_aware, p2p_staged) in rows {
         if first_a2a.is_none() {
             first_a2a = Some(a2a_aware);
         }

@@ -29,7 +29,10 @@ fn main() {
         "best setting",
         "model predicts",
     ]);
-    for ranks in table3_ranks() {
+    // One ladder point per parallel task; within a task the candidate loop
+    // stays serial so the first-wins tie-breaking matches the serial sweep.
+    let ladder = table3_ranks();
+    let rows = fftmodels::par_map(&ladder, |&ranks| {
         let mut best: Option<(f64, String)> = None;
         for decomp in [Decomp::Slabs, Decomp::Pencils] {
             if decomp == Decomp::Slabs && ranks > N512[1] {
@@ -60,6 +63,9 @@ fn main() {
         }
         let (time, setting) = best.expect("at least one candidate");
         let predicted = predict_decomp(N512, ranks, &params).best;
+        (ranks, time, setting, predicted)
+    });
+    for (ranks, time, setting, predicted) in rows {
         t.row(vec![
             format!("{}", ranks / 6),
             format!("{ranks}"),

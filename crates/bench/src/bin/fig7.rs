@@ -46,5 +46,8 @@ fn main() {
         "non-blocking vs blocking total ratio = {:.3}  (paper: 'pretty much the same')",
         lt / rt
     );
-    println!("per-FFT total: {:.4} s (paper at 24 GPUs: ~0.09 s)", rt / 10.0);
+    println!(
+        "per-FFT total: {:.4} s (paper at 24 GPUs: ~0.09 s)",
+        rt / 10.0
+    );
 }

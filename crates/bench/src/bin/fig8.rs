@@ -24,13 +24,17 @@ fn main() {
         "total staged (s)",
         "staged/aware",
     ]);
-    for ranks in table3_ranks().into_iter().filter(|&r| r <= 768) {
+    let ladder: Vec<usize> = table3_ranks().into_iter().filter(|&r| r <= 768).collect();
+    let rows = fftmodels::par_map(&ladder, |&ranks| {
         let opts = FftOptions {
             backend: CommBackend::AllToAllV,
             ..FftOptions::default()
         };
         let (tot_a, comm_a) = timed_average_with_comm(&m, N512, ranks, opts.clone(), true);
         let (tot_s, comm_s) = timed_average_with_comm(&m, N512, ranks, opts, false);
+        (ranks, tot_a, comm_a, tot_s, comm_s)
+    });
+    for (ranks, tot_a, comm_a, tot_s, comm_s) in rows {
         t.row(vec![
             format!("{}", ranks / 6),
             format!("{ranks}"),

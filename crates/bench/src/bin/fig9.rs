@@ -24,14 +24,18 @@ fn main() {
         "total aware (s)",
         "total staged (s)",
     ]);
-    let mut aware_series = Vec::new();
-    for ranks in table3_ranks().into_iter().filter(|&r| r <= 768) {
+    let ladder: Vec<usize> = table3_ranks().into_iter().filter(|&r| r <= 768).collect();
+    let rows = fftmodels::par_map(&ladder, |&ranks| {
         let opts = FftOptions {
             backend: CommBackend::P2p,
             ..FftOptions::default()
         };
         let (tot_a, comm_a) = timed_average_with_comm(&m, N512, ranks, opts.clone(), true);
         let (tot_s, comm_s) = timed_average_with_comm(&m, N512, ranks, opts, false);
+        (ranks, tot_a, comm_a, tot_s, comm_s)
+    });
+    let mut aware_series = Vec::new();
+    for (ranks, tot_a, comm_a, tot_s, comm_s) in rows {
         aware_series.push((ranks, comm_a));
         t.row(vec![
             format!("{}", ranks / 6),

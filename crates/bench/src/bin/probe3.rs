@@ -1,20 +1,39 @@
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{FftOptions, FftPlan};
 use simgrid::MachineSpec;
 
 fn main() {
     let m = MachineSpec::summit();
     for (batch, chunks) in [(1usize, 1usize), (16, 4), (16, 2), (32, 4)] {
-        let plan = FftPlan::build([64,64,64], 24, FftOptions { batch, pipeline_chunks: chunks, ..FftOptions::default() });
+        let plan = FftPlan::build(
+            [64, 64, 64],
+            24,
+            FftOptions {
+                batch,
+                pipeline_chunks: chunks,
+                ..FftOptions::default()
+            },
+        );
         let mut r = DryRunner::new(&plan, &m, DryRunOpts::default());
         let _ = r.run(fftkern::Direction::Forward);
         let rep = r.run(fftkern::Direction::Forward);
-        println!("=== batch {batch} chunks {chunks}: makespan {} -> per-FFT {:.1} us", rep.makespan(), rep.makespan().as_us() / batch as f64);
+        println!(
+            "=== batch {batch} chunks {chunks}: makespan {} -> per-FFT {:.1} us",
+            rep.makespan(),
+            rep.makespan().as_us() / batch as f64
+        );
         if batch == 1 {
             for e in &rep.traces[0].events {
                 match e {
-                    distfft::TraceEvent::MpiCall { reshape, dur, bytes, .. } => println!("  reshape {reshape}: {dur} ({bytes} B)"),
-                    distfft::TraceEvent::Kernel { kind, dur, .. } => println!("  {:?}: {dur}", kind),
+                    distfft::TraceEvent::MpiCall {
+                        reshape,
+                        dur,
+                        bytes,
+                        ..
+                    } => println!("  reshape {reshape}: {dur} ({bytes} B)"),
+                    distfft::TraceEvent::Kernel { kind, dur, .. } => {
+                        println!("  {:?}: {dur}", kind)
+                    }
                 }
             }
         }

@@ -37,8 +37,16 @@ fn main() {
         .collect();
 
     let mut t = TextTable::new(&[
-        "nodes", "ranks", "decomp", "backend", "gpu-aware", "time/FFT (ms)",
+        "nodes",
+        "ranks",
+        "decomp",
+        "backend",
+        "gpu-aware",
+        "time/FFT (ms)",
     ]);
+    // Flatten the whole configuration grid, dry-run every cell in parallel,
+    // and emit rows in grid order — byte-identical to the serial sweep.
+    let mut grid: Vec<(usize, usize, Decomp, CommBackend, bool)> = Vec::new();
     for nodes in node_counts {
         let ranks = nodes * machine.gpus_per_node;
         for decomp in [Decomp::Slabs, Decomp::Pencils] {
@@ -51,28 +59,33 @@ fn main() {
                 CommBackend::P2p,
             ] {
                 for aware in [true, false] {
-                    let time = timed_average(
-                        &machine,
-                        size,
-                        ranks,
-                        FftOptions {
-                            decomp,
-                            backend,
-                            ..FftOptions::default()
-                        },
-                        aware,
-                    );
-                    t.row(vec![
-                        format!("{nodes}"),
-                        format!("{ranks}"),
-                        decomp.name().to_string(),
-                        backend.routine().to_string(),
-                        if aware { "yes" } else { "no" }.to_string(),
-                        format!("{:.3}", time.as_ms()),
-                    ]);
+                    grid.push((nodes, ranks, decomp, backend, aware));
                 }
             }
         }
+    }
+    let times = fftmodels::par_map(&grid, |&(_, ranks, decomp, backend, aware)| {
+        timed_average(
+            &machine,
+            size,
+            ranks,
+            FftOptions {
+                decomp,
+                backend,
+                ..FftOptions::default()
+            },
+            aware,
+        )
+    });
+    for (&(nodes, ranks, decomp, backend, aware), time) in grid.iter().zip(times) {
+        t.row(vec![
+            format!("{nodes}"),
+            format!("{ranks}"),
+            decomp.name().to_string(),
+            backend.routine().to_string(),
+            if aware { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", time.as_ms()),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -6,10 +6,17 @@ use distfft::plan::CommBackend;
 use fft_bench::{banner, TextTable};
 
 fn main() {
-    banner("Table I", "MPI routines in FFT libraries vs this reproduction");
+    banner(
+        "Table I",
+        "MPI routines in FFT libraries vs this reproduction",
+    );
     let mut t = TextTable::new(&["library", "All-to-All", "Point-to-Point"]);
     for (lib, a2a, p2p) in [
-        ("AccFFT", "MPI_Alltoall", "MPI_Isend/MPI_Irecv, MPI_Sendrecv"),
+        (
+            "AccFFT",
+            "MPI_Alltoall",
+            "MPI_Isend/MPI_Irecv, MPI_Sendrecv",
+        ),
         ("FFTE", "MPI_Alltoall, MPI_Alltoallv", "-"),
         ("fftMPI", "MPI_Alltoallv", "MPI_Send/MPI_Irecv"),
         (

@@ -6,7 +6,7 @@
 //! average runtime of 8 FFTs (4 forward and 4 backward), preceded by 2 FFTs
 //! to warm up"), Table III's rank ladder, and plain-text table output.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{FftOptions, FftPlan};
 use distfft::trace::Trace;
 use fftkern::Direction;
@@ -271,13 +271,35 @@ mod tests {
     fn protocol_helpers_are_consistent() {
         let m = MachineSpec::summit();
         let avg = timed_average(&m, [32, 32, 32], 12, FftOptions::default(), true);
-        let (avg2, comm) = timed_average_with_comm(&m, [32, 32, 32], 12, FftOptions::default(), true);
+        let (avg2, comm) =
+            timed_average_with_comm(&m, [32, 32, 32], 12, FftOptions::default(), true);
         assert!(avg.as_ns() > 0);
         // The two protocols measure slightly differently (global span vs
         // per-transform makespans) but must be within a few percent.
         let ratio = avg.as_ns() as f64 / avg2.as_ns() as f64;
         assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
         assert!(comm <= avg2);
+    }
+
+    #[test]
+    fn parallel_sweep_byte_identical_to_serial() {
+        // The figure harnesses fan the configuration grid out with
+        // `fftmodels::par_map`; the rows they emit must not depend on the
+        // worker count. Evaluate the same grid serially and with several
+        // threads and require exact `SimTime` equality.
+        let m = MachineSpec::summit();
+        let grid: Vec<(usize, bool)> = vec![(6, true), (12, false), (24, true), (48, false)];
+        let eval = |cfg: &(usize, bool)| {
+            timed_average(&m, [32, 32, 32], cfg.0, FftOptions::default(), cfg.1)
+        };
+        let serial = fftmodels::par::par_map_with(1, &grid, eval);
+        for threads in [2, 4] {
+            let parallel = fftmodels::par::par_map_with(threads, &grid, eval);
+            assert_eq!(
+                serial, parallel,
+                "{threads}-thread sweep diverged from serial"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! fft.backward(&mut field, Scale::Full);   // full round trip == identity
 //! ```
 
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, Rank};
 use simgrid::SimTime;
 

@@ -97,15 +97,25 @@ impl Box3 {
     /// both `self` and `dst_box`) from this box's local storage into a fresh
     /// contiguous buffer (row-major over `region`).
     pub fn extract(&self, data: &[C64], region: &Box3) -> Vec<C64> {
-        debug_assert_eq!(data.len(), self.volume());
         let mut out = Vec::with_capacity(region.volume());
+        self.extract_into(data, region, &mut out);
+        out
+    }
+
+    /// Appends the elements of `region` (row-major) onto `out` without
+    /// allocating a fresh buffer — the zero-churn form of [`extract`] used
+    /// by the pooled send-packing path.
+    ///
+    /// [`extract`]: Box3::extract
+    pub fn extract_into(&self, data: &[C64], region: &Box3, out: &mut Vec<C64>) {
+        debug_assert_eq!(data.len(), self.volume());
+        out.reserve(region.volume());
         for i in region.lo[0]..region.hi[0] {
             for j in region.lo[1]..region.hi[1] {
                 let base = self.local_index([i, j, region.lo[2]]);
                 out.extend_from_slice(&data[base..base + region.len(2)]);
             }
         }
-        out
     }
 
     /// Deposits a contiguous `block` (as produced by [`extract`]) into this

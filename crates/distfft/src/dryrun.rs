@@ -240,9 +240,9 @@ impl<'a> DryRunner<'a> {
                                         pad,
                                     )
                                 }
-                                CommBackend::AllToAllV => coll::alltoallv_exit_times(
-                                    &np, &env, group, &entries, &matrix,
-                                ),
+                                CommBackend::AllToAllV => {
+                                    coll::alltoallv_exit_times(&np, &env, group, &entries, &matrix)
+                                }
                                 CommBackend::AllToAllW => coll::alltoallw_exit_times(
                                     &np,
                                     &env,

@@ -15,10 +15,10 @@
 
 use std::collections::HashSet;
 
-use fftkern::plan::{Layout, Plan1d};
-use fftkern::{C64, Direction};
-use mpisim::comm::{Comm, Rank};
+use fftkern::plan::Layout;
+use fftkern::{Direction, C64};
 use mpisim::coll;
+use mpisim::comm::{Comm, Rank};
 use mpisim::pattern::{P2pFlavor, PhaseEnv};
 use mpisim::Subarray;
 use simgrid::SimTime;
@@ -28,18 +28,21 @@ use crate::plan::{CommBackend, FftPlan, Step};
 use crate::reshape::{apply_self_block, ReshapeSpec};
 use crate::trace::{KernelKind, Trace, TraceEvent};
 
-/// Cross-call executor state: strided-plan warmup tracking and the phase-id
-/// counter. Create one per experiment and reuse it across warm-up and timed
-/// transforms so the Fig. 10 first-call spikes land in the warm-up, as on
-/// the real machine.
+/// Cross-call executor state: strided-plan warmup tracking, the phase-id
+/// counter and the per-rank scratch pool. Create one per experiment and
+/// reuse it across warm-up and timed transforms so the Fig. 10 first-call
+/// spikes land in the warm-up — and so the steady state runs entirely out
+/// of recycled buffers, as on the real machine.
 #[derive(Debug, Default, Clone)]
 pub struct ExecCtx {
     strided_seen: HashSet<(usize, usize, bool)>,
     call_counter: u64,
+    scratch: ExecScratch,
 }
 
 impl ExecCtx {
-    /// Fresh state (next transform pays the strided first-call spikes).
+    /// Fresh state (next transform pays the strided first-call spikes and
+    /// the buffer-pool warm-up).
     pub fn new() -> ExecCtx {
         ExecCtx::default()
     }
@@ -53,6 +56,60 @@ impl ExecCtx {
         let id = self.call_counter;
         self.call_counter += 1;
         id
+    }
+
+    /// Takes a pooled, empty staging buffer (recycled capacity, length 0).
+    pub(crate) fn take_buffer(&mut self) -> Vec<C64> {
+        self.scratch.take_empty()
+    }
+
+    /// Returns a buffer to the pool for reuse by later calls.
+    pub(crate) fn recycle(&mut self, buf: Vec<C64>) {
+        self.scratch.give(buf);
+    }
+
+    /// Number of buffers currently parked in the pool (diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.scratch.arrays.len()
+    }
+}
+
+/// Pooled per-rank execution scratch: recycled local arrays / send buffers
+/// plus the shared 1-D kernel scratch. After one warm transform, the hot
+/// path allocates nothing — every buffer the executor needs comes out of
+/// (and goes back into) this free list.
+#[derive(Debug, Default, Clone)]
+struct ExecScratch {
+    /// Free list of recycled `Vec<C64>` buffers, any capacity.
+    arrays: Vec<Vec<C64>>,
+    /// Scratch for the batched 1-D kernels (grown to the largest
+    /// `Plan1d::scratch_elems` seen).
+    kernel: Vec<C64>,
+}
+
+/// Free-list bound: batch items + send/recv buffers per reshape stay well
+/// under this; the cap only guards against pathological churn.
+const POOL_CAP: usize = 64;
+
+impl ExecScratch {
+    /// A pooled buffer zero-filled to `len` — bit-identical to
+    /// `vec![C64::ZERO; len]` without the allocation.
+    fn take_zeroed(&mut self, len: usize) -> Vec<C64> {
+        let mut buf = self.take_empty();
+        buf.resize(len, C64::ZERO);
+        buf
+    }
+
+    fn take_empty(&mut self) -> Vec<C64> {
+        let mut buf = self.arrays.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    fn give(&mut self, buf: Vec<C64>) {
+        if buf.capacity() > 0 && self.arrays.len() < POOL_CAP {
+            self.arrays.push(buf);
+        }
     }
 }
 
@@ -111,26 +168,28 @@ pub fn execute(
     dir: Direction,
 ) -> ExecResult {
     assert_eq!(comm.size(), plan.nranks, "communicator does not match plan");
-    assert_eq!(data.len(), plan.opts.batch, "one local array per batch item");
+    assert_eq!(
+        data.len(),
+        plan.opts.batch,
+        "one local array per batch item"
+    );
     let me = comm.me();
-    let spec_machine = rank.world().spec().clone();
+    // `Rank::world()` hands back `&'w World`, so the machine spec and the
+    // slowdown table are borrowed for the whole call — no per-execute clone.
+    let spec_machine = rank.world().spec();
     let km = spec_machine.kernel_model();
     let gpu_aware = rank.world().opts().gpu_aware;
-    let slowdowns = rank.world().opts().compute_slowdown.clone();
+    let slowdowns: &[(usize, f64)] = &rank.world().opts().compute_slowdown;
 
-    let (start_dist, steps, specs, comms) = match dir {
-        Direction::Forward => (
-            0usize,
-            plan.steps_for(dir),
-            &plan.reshapes,
-            &bound.fwd_comms,
-        ),
-        Direction::Inverse => (
-            plan.dists.len() - 1,
-            plan.steps_for(dir),
-            &plan.reshapes_rev,
-            &bound.rev_comms,
-        ),
+    let (start_dist, specs, comms) = match dir {
+        Direction::Forward => (0usize, &plan.reshapes, &bound.fwd_comms),
+        Direction::Inverse => (plan.dists.len() - 1, &plan.reshapes_rev, &bound.rev_comms),
+    };
+    // Borrowed step sequence — `steps_for` clones every `Step`, which the
+    // hot path does not need.
+    let steps: Vec<&Step> = match dir {
+        Direction::Forward => plan.steps.iter().collect(),
+        Direction::Inverse => plan.steps.iter().rev().collect(),
     };
 
     let expect = plan.dists[start_dist].rank_box(me).volume();
@@ -151,12 +210,12 @@ pub fn execute(
     let mut cur_dist = vec![start_dist; chunks];
     for (c, &(ilo, ihi)) in ranges.iter().enumerate() {
         let items = ihi - ilo;
-        for step in &steps {
+        for &step in &steps {
             match *step {
                 Step::LocalFft { dist, axis } => {
                     let first = ctx.first_strided(dist, axis, dir);
                     let ns = crate::plan::slowed_ns(
-                        &slowdowns,
+                        slowdowns,
                         me,
                         plan.local_fft_ns(&km, dist, axis, me, items, first),
                     );
@@ -175,7 +234,7 @@ pub fn execute(
                     // Real math on every item of this chunk.
                     let b = plan.dists[dist].rank_box(me);
                     if !b.is_empty() {
-                        run_local_fft(b, axis, &mut data[ilo..ihi], dir);
+                        run_local_fft(b, axis, &mut data[ilo..ihi], dir, &mut ctx.scratch.kernel);
                     }
                 }
                 Step::Reshape(ri) => {
@@ -193,9 +252,9 @@ pub fn execute(
                         from_box: plan.dists[from_dist].rank_box(me),
                         to_box: plan.dists[to_dist].rank_box(me),
                         km: &km,
-                        spec_machine: &spec_machine,
+                        spec_machine,
                         gpu_aware,
-                        slowdowns: &slowdowns,
+                        slowdowns,
                         rank,
                         ctx,
                         trace: &mut trace,
@@ -209,12 +268,9 @@ pub fn execute(
         }
     }
 
-    let total = gpu_clock.max(rank.now()).max(
-        data_ready
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max),
-    );
+    let total = gpu_clock
+        .max(rank.now())
+        .max(data_ready.iter().copied().fold(SimTime::ZERO, SimTime::max));
     rank.clock.sync_to(total);
     ExecResult { trace, total }
 }
@@ -222,16 +278,28 @@ pub fn execute(
 /// Runs the real batched 1-D FFTs along `axis` over every item's local
 /// array (always on the canonical row-major box layout; the contiguous /
 /// strided distinction is a *timing* concern handled by the kernel model).
-fn run_local_fft(b: &Box3, axis: usize, data: &mut [Vec<C64>], dir: Direction) {
+///
+/// Plans come out of the process-wide [`fftkern::plan_cache`] and the
+/// transform runs through the `_scratch` entry points against `kernel`
+/// (grown once per shape, reused across calls), so the steady state builds
+/// no plans and allocates no buffers.
+fn run_local_fft(
+    b: &Box3,
+    axis: usize,
+    data: &mut [Vec<C64>],
+    dir: Direction,
+    kernel: &mut Vec<C64>,
+) {
     let s = b.shape();
     let n = s[axis];
     if n == 0 {
         return;
     }
+    let cache = fftkern::plan_cache();
     let plan1d = match axis {
-        2 => Plan1d::with_layout(n, s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
-        1 => Plan1d::with_layout(n, s[2], Layout::strided(s[2]), Layout::strided(s[2])),
-        0 => Plan1d::with_layout(
+        2 => cache.plan1d(n, s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
+        1 => cache.plan1d(n, s[2], Layout::strided(s[2]), Layout::strided(s[2])),
+        0 => cache.plan1d(
             n,
             s[1] * s[2],
             Layout::strided(s[1] * s[2]),
@@ -239,14 +307,21 @@ fn run_local_fft(b: &Box3, axis: usize, data: &mut [Vec<C64>], dir: Direction) {
         ),
         _ => unreachable!("axis out of range"),
     };
+    if kernel.len() < plan1d.scratch_elems() {
+        kernel.resize(plan1d.scratch_elems(), C64::ZERO);
+    }
     for item in data.iter_mut() {
         match axis {
-            2 | 0 => plan1d.execute_inplace(item, dir),
+            2 | 0 => plan1d.execute_inplace_scratch(item, dir, kernel),
             1 => {
                 // Axis 1 is strided within each axis-0 plane.
                 let plane = s[1] * s[2];
                 for i0 in 0..s[0] {
-                    plan1d.execute_inplace(&mut item[i0 * plane..(i0 + 1) * plane], dir);
+                    plan1d.execute_inplace_scratch(
+                        &mut item[i0 * plane..(i0 + 1) * plane],
+                        dir,
+                        kernel,
+                    );
                 }
             }
             _ => unreachable!(),
@@ -318,9 +393,10 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
         });
     }
 
-    // New local arrays in the target layout.
+    // New local arrays in the target layout, drawn zero-filled from the
+    // rank's buffer pool (bit-identical to freshly allocated arrays).
     let mut new_data: Vec<Vec<C64>> = (0..items)
-        .map(|_| vec![C64::ZERO; to_box.volume()])
+        .map(|_| ctx.scratch.take_zeroed(to_box.volume()))
         .collect();
 
     // P2P self block: device copy outside MPI.
@@ -356,10 +432,20 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
 
         match backend {
             CommBackend::AllToAllW => {
-                run_alltoallw(plan, spec, sub, env, rank, from_box, to_box, data, &mut new_data);
+                run_alltoallw(
+                    plan,
+                    spec,
+                    sub,
+                    env,
+                    rank,
+                    from_box,
+                    to_box,
+                    data,
+                    &mut new_data,
+                );
             }
             _ => {
-                let sends = build_sends(plan, spec, sub, from_box, data, items);
+                let sends = build_sends(plan, spec, sub, from_box, data, items, &mut ctx.scratch);
                 let recvd = match backend {
                     CommBackend::AllToAll => coll::alltoall(rank, sub, env, sends),
                     CommBackend::AllToAllV => coll::alltoallv(rank, sub, env, sends),
@@ -372,6 +458,9 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
                     CommBackend::AllToAllW => unreachable!(),
                 };
                 deposit_recvs(plan, spec, sub, to_box, &recvd, &mut new_data);
+                for buf in recvd {
+                    ctx.scratch.give(buf);
+                }
             }
         }
         let exit = rank.now();
@@ -398,14 +487,18 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
         });
     }
 
-    // Swap the chunk's arrays to the new layout.
+    // Swap the chunk's arrays to the new layout; the superseded arrays go
+    // back to the pool for the next reshape of this rank.
     for (old, new) in data.iter_mut().zip(new_data) {
-        *old = new;
+        let prev = std::mem::replace(old, new);
+        ctx.scratch.give(prev);
     }
 }
 
 /// Builds per-destination send buffers (items coalesced), in sub-comm member
-/// order. P2P skips the diagonal; padded Alltoall pads to the group maximum.
+/// order, packing straight from the local arrays into pooled buffers. P2P
+/// skips the diagonal; padded Alltoall pads to the group maximum.
+#[allow(clippy::too_many_arguments)]
 fn build_sends(
     plan: &FftPlan,
     spec: &ReshapeSpec,
@@ -413,6 +506,7 @@ fn build_sends(
     from_box: &Box3,
     data: &[Vec<C64>],
     items: usize,
+    pool: &mut ExecScratch,
 ) -> Vec<Vec<C64>> {
     let me_world = sub.member(sub.me());
     let is_p2p = plan.opts.backend.is_p2p();
@@ -429,15 +523,14 @@ fn build_sends(
             if is_p2p && dst_world == me_world {
                 return Vec::new();
             }
-            let region = spec
-                .sends[me_world]
+            let region = spec.sends[me_world]
                 .iter()
                 .find(|(d, _)| *d == dst_world)
                 .map(|(_, b)| *b);
-            let mut buf = Vec::new();
+            let mut buf = pool.take_empty();
             if let Some(region) = region {
                 for item in data.iter().take(items) {
-                    buf.extend(from_box.extract(item, &region));
+                    from_box.extract_into(item, &region, &mut buf);
                 }
             }
             if plan.opts.backend == CommBackend::AllToAll {
@@ -465,8 +558,7 @@ fn deposit_recvs(
         if is_p2p && src_world == me_world {
             continue; // self block handled by the device copy
         }
-        let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world)
-        else {
+        let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world) else {
             continue;
         };
         let vol = region.volume();

@@ -31,20 +31,20 @@
 //! and schedule models, so their simulated times agree exactly — a property
 //! the test suite enforces.
 
-pub mod boxes;
-pub mod procgrid;
-pub mod decomp;
-pub mod reshape;
-pub mod plan;
-pub mod trace;
-pub mod exec;
-pub mod dryrun;
-pub mod real3d;
 pub mod api;
+pub mod boxes;
+pub mod decomp;
+pub mod dryrun;
+pub mod exec;
+pub mod plan;
+pub mod procgrid;
+pub mod real3d;
+pub mod reshape;
 pub mod timeline;
+pub mod trace;
 
+pub use api::{Fft3d, Scale};
 pub use boxes::Box3;
 pub use decomp::Decomp;
 pub use plan::{CommBackend, FftOptions, FftPlan, IoLayout, PlanError};
-pub use api::{Fft3d, Scale};
 pub use trace::{KernelKind, Trace, TraceEvent};

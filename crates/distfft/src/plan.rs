@@ -271,7 +271,10 @@ impl std::fmt::Display for PlanError {
                 write!(f, "the Alltoallw backend supports batch == 1 only")
             }
             PlanError::IoRankMismatch { got, expected } => {
-                write!(f, "custom I/O distribution has {got} ranks, expected {expected}")
+                write!(
+                    f,
+                    "custom I/O distribution has {got} ranks, expected {expected}"
+                )
             }
         }
     }
@@ -359,8 +362,8 @@ impl FftPlan {
         let mut dists: Vec<Distribution> = Vec::new();
         let mut stage_axes: Vec<Vec<usize>> = Vec::new();
         let custom_io = io_in.is_some() || io_out.is_some();
-        let io_brick = !custom_io
-            && (matches!(opts.io, IoLayout::Brick) || opts.decomp == Decomp::Bricks);
+        let io_brick =
+            !custom_io && (matches!(opts.io, IoLayout::Brick) || opts.decomp == Decomp::Bricks);
         if let Some(input) = io_in {
             dists.push(input);
             stage_axes.push(Vec::new());
@@ -375,7 +378,10 @@ impl FftPlan {
             // when the input grid coincides with a compute grid).
             if let Some(prev) = dists.last() {
                 if prev.boxes == d.boxes {
-                    stage_axes.last_mut().expect("non-empty").extend(st.axes.clone());
+                    stage_axes
+                        .last_mut()
+                        .expect("non-empty")
+                        .extend(st.axes.clone());
                     continue;
                 }
             }
@@ -395,12 +401,24 @@ impl FftPlan {
             }
         }
 
-        // Reshapes between consecutive distributions.
-        let mut reshapes = Vec::with_capacity(dists.len().saturating_sub(1));
-        let mut reshapes_rev = Vec::with_capacity(dists.len().saturating_sub(1));
-        for w in dists.windows(2) {
-            reshapes.push(ReshapeSpec::build(&w[0], &w[1]));
-            reshapes_rev.push(ReshapeSpec::build(&w[1], &w[0]));
+        // Reshapes between consecutive distributions. Each window is planned
+        // once: the reverse spec is derived from the forward one (the flow
+        // graph is symmetric), and a window whose distribution pair already
+        // occurred reuses the earlier plan instead of re-running the O(Π·peers)
+        // intersection sweep.
+        let mut reshapes: Vec<ReshapeSpec> = Vec::with_capacity(dists.len().saturating_sub(1));
+        let mut reshapes_rev: Vec<ReshapeSpec> = Vec::with_capacity(dists.len().saturating_sub(1));
+        for (i, w) in dists.windows(2).enumerate() {
+            let prior = dists
+                .windows(2)
+                .take(i)
+                .position(|p| p[0] == w[0] && p[1] == w[1]);
+            let fwd = match prior {
+                Some(j) => reshapes[j].clone(),
+                None => ReshapeSpec::build(&w[0], &w[1]),
+            };
+            reshapes_rev.push(fwd.reversed());
+            reshapes.push(fwd);
         }
 
         // Forward step list: arrive in dist i ⇒ transform its axes.
@@ -442,12 +460,7 @@ impl FftPlan {
     pub fn steps_for(&self, dir: fftkern::Direction) -> Vec<Step> {
         match dir {
             fftkern::Direction::Forward => self.steps.clone(),
-            fftkern::Direction::Inverse => self
-                .steps
-                .iter()
-                .rev()
-                .cloned()
-                .collect(),
+            fftkern::Direction::Inverse => self.steps.iter().rev().cloned().collect(),
         }
     }
 
@@ -655,7 +668,10 @@ mod tests {
         let p = FftPlan::build([32, 32, 32], 12, opts());
         for s in &p.steps {
             if let Step::LocalFft { dist, axis } = s {
-                assert_eq!(p.dists[*dist].grid[*axis], 1, "axis {axis} split in dist {dist}");
+                assert_eq!(
+                    p.dists[*dist].grid[*axis], 1,
+                    "axis {axis} split in dist {dist}"
+                );
             }
         }
     }
@@ -744,16 +760,7 @@ mod tests {
     fn padded_alltoall_packs_more_than_alltoallv() {
         // 12 ranks: brick grid (2,2,3) differs from pencil grid (1,3,4), so
         // the brick->pencil blocks are uneven and padding inflates them.
-        let mk = |backend| {
-            FftPlan::build(
-                [24, 24, 24],
-                12,
-                FftOptions {
-                    backend,
-                    ..opts()
-                },
-            )
-        };
+        let mk = |backend| FftPlan::build([24, 24, 24], 12, FftOptions { backend, ..opts() });
         let pv = mk(CommBackend::AllToAllV);
         let pa = mk(CommBackend::AllToAll);
         // Brick->pencil reshape (index 0) has uneven blocks.

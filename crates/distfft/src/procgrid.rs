@@ -188,8 +188,7 @@ pub fn min_surface_grid(n: usize, dims: [usize; 3]) -> [usize; 3] {
                     let triple = [a, b, c];
                     // Evaluate surface for the best axis assignment: assign
                     // the largest factor to the largest dimension.
-                    let mut dsort: Vec<(usize, usize)> =
-                        dims.iter().copied().enumerate().collect();
+                    let mut dsort: Vec<(usize, usize)> = dims.iter().copied().enumerate().collect();
                     dsort.sort_by_key(|&(_, d)| d);
                     let mut assigned = [1usize; 3];
                     for (k, &(axis, _)) in dsort.iter().enumerate() {
@@ -200,13 +199,11 @@ pub fn min_surface_grid(n: usize, dims: [usize; 3]) -> [usize; 3] {
                         dims[1] as f64 / assigned[1] as f64,
                         dims[2] as f64 / assigned[2] as f64,
                     ];
-                    let surf =
-                        local[0] * local[1] + local[1] * local[2] + local[0] * local[2];
+                    let surf = local[0] * local[1] + local[1] * local[2] + local[0] * local[2];
                     let better = match &best {
                         None => true,
                         Some((prev, ps)) => {
-                            surf < *ps - 1e-9
-                                || ((surf - *ps).abs() <= 1e-9 && assigned < *prev)
+                            surf < *ps - 1e-9 || ((surf - *ps).abs() <= 1e-9 && assigned < *prev)
                         }
                     };
                     if better {

@@ -18,8 +18,8 @@
 //! the functional and analytic executors (and their exact-consistency
 //! guarantee) apply unchanged.
 
-use fftkern::real::{retangle_half, untangle_half};
-use fftkern::{C64, Direction};
+use fftkern::real::{retangle_half_into, untangle_half_into};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, Rank};
 use simgrid::SimTime;
 
@@ -96,7 +96,12 @@ impl Real3dPlan {
             vec![vec![], vec![1], vec![0], vec![]],
         );
 
-        Ok(Real3dPlan { n, h, plan_a, plan_c })
+        Ok(Real3dPlan {
+            n,
+            h,
+            plan_a,
+            plan_c,
+        })
     }
 
     /// Panicking wrapper around [`Real3dPlan::try_build`].
@@ -130,7 +135,10 @@ impl Real3dPlan {
 
     /// Binds both inner plans (collective over `comm`).
     pub fn bind(&self, rank: &mut Rank, comm: &Comm) -> (BoundPlan, BoundPlan) {
-        (bind(&self.plan_a, rank, comm), bind(&self.plan_c, rank, comm))
+        (
+            bind(&self.plan_a, rank, comm),
+            bind(&self.plan_c, rank, comm),
+        )
     }
 
     /// Forward r2c: consumes this rank's reals (row-major over
@@ -153,16 +161,23 @@ impl Real3dPlan {
         let in_box = self.real_input_box(me);
         assert_eq!(reals.len(), in_box.volume(), "input does not match layout");
 
-        // 1. Local fold into packed complex (pairs along axis 2).
-        let packed: Vec<C64> = reals
-            .chunks_exact(2)
-            .map(|p| C64::new(p[0], p[1]))
-            .collect();
+        // 1. Local fold into packed complex (pairs along axis 2), staged in
+        // a pooled buffer.
+        let mut packed = ctx.take_buffer();
+        packed.extend(reals.chunks_exact(2).map(|p| C64::new(p[0], p[1])));
         rank.compute_ns(km.pointwise_ns(packed.len(), 2.0));
 
         // 2. Reshape + axis-2 FFT on the packed domain.
         let mut data = vec![packed];
-        execute(&self.plan_a, &bound.0, ctx, rank, comm, &mut data, Direction::Forward);
+        execute(
+            &self.plan_a,
+            &bound.0,
+            ctx,
+            rank,
+            comm,
+            &mut data,
+            Direction::Forward,
+        );
 
         // 3. Untangle every axis-2 line: m bins -> h bins.
         let zbox = self.plan_a.dists[1].rank_box(me);
@@ -171,17 +186,29 @@ impl Real3dPlan {
             Vec::new()
         } else {
             let rows = zbox.volume() / m;
-            let mut out = Vec::with_capacity(rows * self.h);
+            let mut out = ctx.take_buffer();
+            out.reserve(rows * self.h);
             for row in data[0].chunks_exact(m) {
-                out.extend(untangle_half(row, self.n[2]));
+                untangle_half_into(row, self.n[2], &mut out);
             }
             rank.compute_ns(km.pointwise_ns(rows * self.h, 12.0));
             out
         };
+        if let Some(buf) = data.pop() {
+            ctx.recycle(buf);
+        }
 
         // 4. Axes 1 and 0 + output reshape on the half domain.
         let mut data_c = vec![untangled];
-        execute(&self.plan_c, &bound.1, ctx, rank, comm, &mut data_c, Direction::Forward);
+        execute(
+            &self.plan_c,
+            &bound.1,
+            ctx,
+            rank,
+            comm,
+            &mut data_c,
+            Direction::Forward,
+        );
         data_c.remove(0)
     }
 
@@ -203,7 +230,15 @@ impl Real3dPlan {
 
         // Reverse of stage C: back to the (P,Q,1) half-domain pencils.
         let mut data_c = vec![spectrum];
-        execute(&self.plan_c, &bound.1, ctx, rank, comm, &mut data_c, Direction::Inverse);
+        execute(
+            &self.plan_c,
+            &bound.1,
+            ctx,
+            rank,
+            comm,
+            &mut data_c,
+            Direction::Inverse,
+        );
 
         // Re-tangle every axis-2 line: h bins -> m packed bins.
         let zbox = self.plan_a.dists[1].rank_box(me);
@@ -212,17 +247,29 @@ impl Real3dPlan {
             Vec::new()
         } else {
             let rows = data_c[0].len() / self.h;
-            let mut out = Vec::with_capacity(rows * m);
+            let mut out = ctx.take_buffer();
+            out.reserve(rows * m);
             for row in data_c[0].chunks_exact(self.h) {
-                out.extend(retangle_half(row, self.n[2]));
+                retangle_half_into(row, self.n[2], &mut out);
             }
             rank.compute_ns(km.pointwise_ns(rows * m, 12.0));
             out
         };
+        if let Some(buf) = data_c.pop() {
+            ctx.recycle(buf);
+        }
 
         // Reverse of stage A: inverse axis-2 FFT + reshape to packed bricks.
         let mut data = vec![packed];
-        execute(&self.plan_a, &bound.0, ctx, rank, comm, &mut data, Direction::Inverse);
+        execute(
+            &self.plan_a,
+            &bound.0,
+            ctx,
+            rank,
+            comm,
+            &mut data,
+            Direction::Inverse,
+        );
 
         // Unfold to reals (×2: the half-size transform carries half the
         // normalization, exactly as in the 1-D packed trick).
@@ -231,6 +278,9 @@ impl Real3dPlan {
             .flat_map(|z| [z.re * 2.0, z.im * 2.0])
             .collect();
         rank.compute_ns(km.pointwise_ns(out.len() / 2, 2.0));
+        if let Some(buf) = data.pop() {
+            ctx.recycle(buf);
+        }
         out
     }
 
@@ -279,8 +329,9 @@ fn hand_rolled(
     let mut reshapes = Vec::new();
     let mut reshapes_rev = Vec::new();
     for w in dists.windows(2) {
-        reshapes.push(ReshapeSpec::build(&w[0], &w[1]));
-        reshapes_rev.push(ReshapeSpec::build(&w[1], &w[0]));
+        let fwd = ReshapeSpec::build(&w[0], &w[1]);
+        reshapes_rev.push(fwd.reversed());
+        reshapes.push(fwd);
     }
     let mut steps = Vec::new();
     for (i, axes) in stage_axes.iter().enumerate() {

@@ -47,8 +47,8 @@ impl ReshapeSpec {
         // both distributions by construction).
         let mut domain = [0usize; 3];
         for b in from.boxes.iter().chain(to.boxes.iter()) {
-            for d in 0..3 {
-                domain[d] = domain[d].max(b.hi[d]);
+            for (d, ext) in domain.iter_mut().enumerate() {
+                *ext = (*ext).max(b.hi[d]);
             }
         }
 
@@ -100,6 +100,19 @@ impl ReshapeSpec {
             recvs,
             groups,
             group_of,
+        }
+    }
+
+    /// The reverse reshape `to → from`, derived without re-planning: the
+    /// flow graph is symmetric, so sends and recvs swap while groups (its
+    /// connected components) are unchanged. Equivalent to — and much cheaper
+    /// than — `ReshapeSpec::build(to, from)`.
+    pub fn reversed(&self) -> ReshapeSpec {
+        ReshapeSpec {
+            sends: self.recvs.clone(),
+            recvs: self.sends.clone(),
+            groups: self.groups.clone(),
+            group_of: self.group_of.clone(),
         }
     }
 
@@ -176,19 +189,20 @@ impl ReshapeSpec {
 }
 
 /// Applies the local (self) part of a reshape: copies the overlap of the
-/// rank's old and new boxes directly.
-pub fn apply_self_block(
-    old_box: &Box3,
-    old_data: &[C64],
-    new_box: &Box3,
-    new_data: &mut [C64],
-) {
+/// rank's old and new boxes row by row, with no intermediate staging buffer.
+pub fn apply_self_block(old_box: &Box3, old_data: &[C64], new_box: &Box3, new_data: &mut [C64]) {
     let overlap = old_box.intersect(new_box);
     if overlap.is_empty() {
         return;
     }
-    let block = old_box.extract(old_data, &overlap);
-    new_box.deposit(new_data, &overlap, &block);
+    let row = overlap.len(2);
+    for i in overlap.lo[0]..overlap.hi[0] {
+        for j in overlap.lo[1]..overlap.hi[1] {
+            let src = old_box.local_index([i, j, overlap.lo[2]]);
+            let dst = new_box.local_index([i, j, overlap.lo[2]]);
+            new_data[dst..dst + row].copy_from_slice(&old_data[src..src + row]);
+        }
+    }
 }
 
 struct UnionFind {
@@ -344,6 +358,31 @@ mod tests {
         // One group containing all flowing ranks.
         assert_eq!(rs.groups.len(), 1);
         assert_eq!(rs.groups[0].len(), 8);
+    }
+
+    #[test]
+    fn reversed_matches_rebuilt_reverse() {
+        for (ga, gb) in [
+            ([1usize, 2, 4], [2usize, 1, 4]),
+            ([2, 2, 2], [1, 2, 4]),
+            ([2, 3, 1], [1, 2, 3]),
+        ] {
+            let a = Distribution::new([8, 9, 10], ga, 8);
+            let b = Distribution::new([8, 9, 10], gb, 8);
+            let fwd = ReshapeSpec::build(&a, &b);
+            let derived = fwd.reversed();
+            let rebuilt = ReshapeSpec::build(&b, &a);
+            assert_eq!(derived.sends, rebuilt.sends);
+            assert_eq!(derived.recvs, rebuilt.recvs);
+            // Groups are the same components; ordering may differ, so
+            // compare as sorted sets.
+            let norm = |spec: &ReshapeSpec| {
+                let mut gs = spec.groups.clone();
+                gs.sort();
+                gs
+            };
+            assert_eq!(norm(&derived), norm(&rebuilt));
+        }
     }
 
     #[test]

@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn real_plan_timeline_contains_all_phases() {
-        use crate::dryrun::{DryRunner, DryRunOpts};
+        use crate::dryrun::{DryRunOpts, DryRunner};
         use crate::plan::{FftOptions, FftPlan};
         let plan = FftPlan::build([32, 32, 32], 12, FftOptions::default());
         let machine = simgrid::MachineSpec::summit();

@@ -7,7 +7,7 @@ use distfft::plan::{CommBackend, FftOptions, FftPlan, PlanError};
 use distfft::procgrid::Distribution;
 use distfft::{Box3, Decomp};
 use fftkern::complex::max_abs_diff;
-use fftkern::{C64, Direction, Plan3d};
+use fftkern::{Direction, Plan3d, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
@@ -15,10 +15,10 @@ use simgrid::MachineSpec;
 /// 4 ranks: an L-shaped split no processor grid can express.
 fn weird_partition() -> Vec<Box3> {
     vec![
-        Box3::new([0, 0, 0], [8, 8, 3]),   // front slab
-        Box3::new([0, 0, 3], [5, 8, 8]),   // lower back block
-        Box3::new([5, 0, 3], [8, 4, 8]),   // upper back left
-        Box3::new([5, 4, 3], [8, 8, 8]),   // upper back right
+        Box3::new([0, 0, 0], [8, 8, 3]), // front slab
+        Box3::new([0, 0, 3], [5, 8, 8]), // lower back block
+        Box3::new([5, 0, 3], [8, 4, 8]), // upper back left
+        Box3::new([5, 4, 3], [8, 8, 8]), // upper back right
     ]
 }
 
@@ -44,7 +44,15 @@ fn irregular_io_boxes_roundtrip_correctly() {
         let mut ctx = ExecCtx::new();
         let b = plan.dists[0].rank_box(rank.rank());
         let mut data = vec![whole.extract(&global, b)];
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward);
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
+        );
         data.remove(0)
     });
 

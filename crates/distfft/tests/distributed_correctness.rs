@@ -6,7 +6,7 @@ use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::Decomp;
 use fftkern::complex::max_abs_diff;
-use fftkern::{C64, Direction, Plan3d};
+use fftkern::{Direction, Plan3d, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
@@ -53,7 +53,13 @@ fn check_forward(n: [usize; 3], nranks: usize, opts: FftOptions) {
         let mut ctx = ExecCtx::new();
         let mut data = vec![scatter(&global, &plan, 0, rank.rank())];
         let res = execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
         );
         assert!(res.total.as_ns() > 0 || plan.total_elems() == 0);
         data.remove(0)
@@ -85,10 +91,22 @@ fn check_roundtrip(n: [usize; 3], nranks: usize, opts: FftOptions) {
         let mine = scatter(&global, &plan, 0, rank.rank());
         let mut data = vec![mine; batch];
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
         );
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
         );
         data
     });

@@ -5,12 +5,12 @@
 //! per kernel — must agree *exactly*. Every large-scale figure in the
 //! reproduction rests on this property.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::trace::Trace;
 use distfft::Decomp;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use mpisim::MpiDistro;
 use simgrid::{MachineSpec, SimTime};
@@ -45,10 +45,22 @@ fn check_consistency(
             for _ in 0..rounds {
                 let mut data = vec![field(&plan, 0, rank.rank()); plan.opts.batch];
                 let f = execute(
-                    &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+                    &plan,
+                    &bound,
+                    &mut ctx,
+                    rank,
+                    &comm,
+                    &mut data,
+                    Direction::Forward,
                 );
                 let i = execute(
-                    &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+                    &plan,
+                    &bound,
+                    &mut ctx,
+                    rank,
+                    &comm,
+                    &mut data,
+                    Direction::Inverse,
                 );
                 per_round.push((f.total, f.trace, i.total, i.trace));
             }

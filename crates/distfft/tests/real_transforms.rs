@@ -1,11 +1,11 @@
 //! Distributed r2c/c2r correctness: against the embedded complex transform
 //! and round trips, plus the half-cost property.
 
+use distfft::exec::ExecCtx;
 use distfft::plan::FftOptions;
 use distfft::real3d::Real3dPlan;
-use distfft::exec::ExecCtx;
 use distfft::Box3;
-use fftkern::{C64, Direction, Plan3d};
+use fftkern::{Direction, Plan3d, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
@@ -129,11 +129,8 @@ fn r2c_dryrun_cheaper_than_c2c() {
     let r2c = Real3dPlan::build(n, ranks, FftOptions::default());
     let t_r2c = r2c.dryrun_forward(&machine, distfft::dryrun::DryRunOpts::default());
     let c2c = distfft::plan::FftPlan::build(n, ranks, FftOptions::default());
-    let mut runner = distfft::dryrun::DryRunner::new(
-        &c2c,
-        &machine,
-        distfft::dryrun::DryRunOpts::default(),
-    );
+    let mut runner =
+        distfft::dryrun::DryRunner::new(&c2c, &machine, distfft::dryrun::DryRunOpts::default());
     let t_c2c = runner.run(Direction::Forward).makespan();
     assert!(
         t_r2c < t_c2c,

@@ -1,6 +1,6 @@
 //! Failure injection at the distfft level: degraded-GPU behavior.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{FftOptions, FftPlan};
 use fftkern::Direction;
 use simgrid::MachineSpec;

@@ -297,11 +297,13 @@ mod tests {
             let theta = 2.0 * std::f64::consts::PI * k as f64 / 32.0;
             let z = C64::expi(theta);
             assert!((z.abs() - 1.0).abs() < 1e-14);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < 1e-10
-                || (z.arg() + 2.0 * std::f64::consts::PI
-                    - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                    < 1e-10);
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < 1e-10
+                    || (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                        < 1e-10
+            );
         }
     }
 

@@ -126,15 +126,15 @@ impl KernelTimeModel {
         let b_f = batch as f64;
         // Standard FFT operation count: 5·n·log2(n) per transform.
         let flops = 5.0 * n_f * n_f.log2().max(1.0) * b_f;
-        let flop_time_ns = flops / (self.gpu.fp64_tflops * 1e12 * self.gpu.fft_flop_efficiency)
-            * 1e9;
+        let flop_time_ns =
+            flops / (self.gpu.fp64_tflops * 1e12 * self.gpu.fft_flop_efficiency) * 1e9;
         // One read + one write pass over the batch.
         let bytes = 2.0 * ELEM_BYTES * n_f * b_f;
         let bw_factor = match layout {
             LayoutKind::Contiguous => 1.0,
             LayoutKind::Strided => self.gpu.strided_bw_factor,
         };
-        let mem_time_ns = bytes / (self.gpu.mem_bw_gbs * bw_factor) ; // GB/s == B/ns
+        let mem_time_ns = bytes / (self.gpu.mem_bw_gbs * bw_factor); // GB/s == B/ns
         let setup = if first_call && layout == LayoutKind::Strided {
             self.gpu.plan_setup_ns
         } else {

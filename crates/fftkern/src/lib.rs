@@ -27,19 +27,22 @@
 //! Transforms follow the cuFFT/FFTW convention: both directions are
 //! unnormalized, so a forward+inverse round trip scales the data by `N`.
 
+pub mod bluestein;
+pub mod cache;
 pub mod complex;
 pub mod dft;
-pub mod radix;
-pub mod mixed;
-pub mod bluestein;
-pub mod plan;
-pub mod nd;
-pub mod real;
 pub mod kernel_model;
+pub mod mixed;
+pub mod nd;
+pub mod plan;
+pub mod radix;
+pub mod real;
+pub mod twiddle;
 
+pub use cache::{plan_cache, PlanCache};
 pub use complex::C64;
-pub use plan::{Direction, Plan1d, Plan2d, Plan3d};
 pub use kernel_model::{GpuModel, KernelTimeModel, LayoutKind};
+pub use plan::{Direction, Plan1d, Plan2d, Plan3d};
 
 /// Returns true if `n` factors entirely into 2, 3, 5 and 7 — the sizes the
 /// mixed-radix path handles without Bluestein.

@@ -11,6 +11,8 @@
 
 use crate::complex::C64;
 use crate::plan::Direction;
+use crate::twiddle;
+use std::sync::Arc;
 
 /// Factors `n` into the sequence of radices used by the recursion (largest
 /// factors first keeps the combine loops short at the deep levels).
@@ -32,18 +34,20 @@ pub fn factorize(mut n: usize) -> Vec<usize> {
 pub struct MixedPlan {
     n: usize,
     factors: Vec<usize>,
-    /// `tw[j] = e^{-2πi·j/n}` for `j < n`.
-    twiddles: Vec<C64>,
+    /// Shared table `tw[j] = e^{-2πi·j/n}` for `j < n`.
+    twiddles: Arc<[C64]>,
 }
 
 impl MixedPlan {
     /// Builds a plan for any smooth `n` (`crate::is_smooth(n)` must hold).
     pub fn new(n: usize) -> Self {
         let factors = factorize(n);
-        let twiddles = (0..n)
-            .map(|j| C64::expi(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
-            .collect();
-        MixedPlan { n, factors, twiddles }
+        let twiddles = twiddle::forward_table(n);
+        MixedPlan {
+            n,
+            factors,
+            twiddles,
+        }
     }
 
     /// Transform size.
@@ -81,7 +85,15 @@ impl MixedPlan {
         assert!(scratch.len() >= self.n, "scratch too small");
         assert!(output.len() >= self.n, "output too small");
         let inverse = matches!(dir, Direction::Inverse);
-        self.rec(input, istride, &mut output[..self.n], scratch, self.n, 0, inverse);
+        self.rec(
+            input,
+            istride,
+            &mut output[..self.n],
+            scratch,
+            self.n,
+            0,
+            inverse,
+        );
     }
 
     /// In-place convenience wrapper around [`execute_strided`].
@@ -177,7 +189,9 @@ mod tests {
 
     #[test]
     fn matches_dft_for_assorted_smooth_sizes() {
-        for n in [1usize, 2, 3, 5, 7, 6, 10, 12, 15, 21, 35, 36, 60, 105, 120, 210] {
+        for n in [
+            1usize, 2, 3, 5, 7, 6, 10, 12, 15, 21, 35, 36, 60, 105, 120, 210,
+        ] {
             let plan = MixedPlan::new(n);
             let x = signal(n);
             let mut fast = x.clone();

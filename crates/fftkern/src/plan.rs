@@ -96,7 +96,7 @@ impl Algo {
 /// Advanced data layout for a batch of 1-D transforms, mirroring
 /// `cufftPlanMany`: element `j` of batch `b` is read at
 /// `b·idist + j·istride` and written at `b·odist + k·ostride`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Layout {
     /// Stride between successive elements of one transform.
     pub stride: usize,
@@ -210,8 +210,29 @@ impl Plan1d {
         (self.batch - 1) * self.output.dist + (self.n - 1) * self.output.stride + 1
     }
 
+    /// Number of scratch elements the `_scratch` execution variants need:
+    /// enough for the algorithm's work buffers plus one gathered row.
+    pub fn scratch_elems(&self) -> usize {
+        let (la, lb) = self.algo.scratch_len();
+        la + lb + self.n
+    }
+
     /// Executes the batch out of place.
     pub fn execute(&self, input: &[C64], output: &mut [C64], dir: Direction) {
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        self.execute_scratch(input, output, dir, &mut scratch);
+    }
+
+    /// Executes the batch out of place reusing caller-provided scratch of at
+    /// least [`scratch_elems`](Plan1d::scratch_elems) elements — zero
+    /// allocation, for hot loops that run the same plan repeatedly.
+    pub fn execute_scratch(
+        &self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+        scratch: &mut [C64],
+    ) {
         assert!(
             input.len() >= self.required_input_len(),
             "input buffer too small: {} < {}",
@@ -224,16 +245,13 @@ impl Plan1d {
             output.len(),
             self.required_output_len()
         );
-        let (la, lb) = self.algo.scratch_len();
-        let mut sa = vec![C64::ZERO; la];
-        let mut sb = vec![C64::ZERO; lb];
-        let mut row = vec![C64::ZERO; self.n];
+        let (sa, sb, row) = self.split_scratch(scratch);
         for b in 0..self.batch {
             let ibase = b * self.input.dist;
             for (j, r) in row.iter_mut().enumerate() {
                 *r = input[ibase + j * self.input.stride];
             }
-            self.algo.execute_scratch(&mut row, dir, &mut sa, &mut sb);
+            self.algo.execute_scratch(row, dir, sa, sb);
             let obase = b * self.output.dist;
             for (k, r) in row.iter().enumerate() {
                 output[obase + k * self.output.stride] = *r;
@@ -245,25 +263,46 @@ impl Plan1d {
     /// non-overlapping transforms within the same buffer; the common cases —
     /// identical layouts — always qualify).
     pub fn execute_inplace(&self, data: &mut [C64], dir: Direction) {
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        self.execute_inplace_scratch(data, dir, &mut scratch);
+    }
+
+    /// Executes the batch in place reusing caller-provided scratch of at
+    /// least [`scratch_elems`](Plan1d::scratch_elems) elements.
+    pub fn execute_inplace_scratch(&self, data: &mut [C64], dir: Direction, scratch: &mut [C64]) {
         assert!(
             data.len() >= self.required_input_len().max(self.required_output_len()),
             "buffer too small for in-place batch"
         );
-        let (la, lb) = self.algo.scratch_len();
-        let mut sa = vec![C64::ZERO; la];
-        let mut sb = vec![C64::ZERO; lb];
-        let mut row = vec![C64::ZERO; self.n];
+        let (sa, sb, row) = self.split_scratch(scratch);
         for b in 0..self.batch {
             let ibase = b * self.input.dist;
             for (j, r) in row.iter_mut().enumerate() {
                 *r = data[ibase + j * self.input.stride];
             }
-            self.algo.execute_scratch(&mut row, dir, &mut sa, &mut sb);
+            self.algo.execute_scratch(row, dir, sa, sb);
             let obase = b * self.output.dist;
             for (k, r) in row.iter().enumerate() {
                 data[obase + k * self.output.stride] = *r;
             }
         }
+    }
+
+    /// Splits caller scratch into the algorithm buffers and the row buffer.
+    fn split_scratch<'s>(
+        &self,
+        scratch: &'s mut [C64],
+    ) -> (&'s mut [C64], &'s mut [C64], &'s mut [C64]) {
+        assert!(
+            scratch.len() >= self.scratch_elems(),
+            "scratch too small: {} < {}",
+            scratch.len(),
+            self.scratch_elems()
+        );
+        let (la, lb) = self.algo.scratch_len();
+        let (sa, rest) = scratch.split_at_mut(la);
+        let (sb, rest) = rest.split_at_mut(lb);
+        (sa, sb, &mut rest[..self.n])
     }
 }
 
@@ -300,11 +339,23 @@ impl Plan2d {
         self.len() == 0
     }
 
+    /// Scratch elements needed by [`execute_scratch`](Plan2d::execute_scratch).
+    pub fn scratch_elems(&self) -> usize {
+        self.rows.scratch_elems().max(self.cols.scratch_elems())
+    }
+
     /// In-place unnormalized 2-D transform.
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        self.execute_scratch(data, dir, &mut scratch);
+    }
+
+    /// In-place transform reusing caller-provided scratch of at least
+    /// [`scratch_elems`](Plan2d::scratch_elems) elements.
+    pub fn execute_scratch(&self, data: &mut [C64], dir: Direction, scratch: &mut [C64]) {
         assert_eq!(data.len(), self.len(), "buffer does not match plan shape");
-        self.rows.execute_inplace(data, dir);
-        self.cols.execute_inplace(data, dir);
+        self.rows.execute_inplace_scratch(data, dir, scratch);
+        self.cols.execute_inplace_scratch(data, dir, scratch);
     }
 }
 
@@ -358,16 +409,34 @@ impl Plan3d {
         self.len() == 0
     }
 
+    /// Scratch elements needed by [`execute_scratch`](Plan3d::execute_scratch).
+    pub fn scratch_elems(&self) -> usize {
+        self.axis2
+            .scratch_elems()
+            .max(self.axis1.scratch_elems())
+            .max(self.axis0.scratch_elems())
+    }
+
     /// In-place unnormalized 3-D transform.
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        self.execute_scratch(data, dir, &mut scratch);
+    }
+
+    /// In-place transform reusing caller-provided scratch of at least
+    /// [`scratch_elems`](Plan3d::scratch_elems) elements.
+    pub fn execute_scratch(&self, data: &mut [C64], dir: Direction, scratch: &mut [C64]) {
         assert_eq!(data.len(), self.len(), "buffer does not match plan shape");
-        self.axis2.execute_inplace(data, dir);
+        self.axis2.execute_inplace_scratch(data, dir, scratch);
         let plane = self.n1 * self.n2;
         for i0 in 0..self.n0 {
-            self.axis1
-                .execute_inplace(&mut data[i0 * plane..(i0 + 1) * plane], dir);
+            self.axis1.execute_inplace_scratch(
+                &mut data[i0 * plane..(i0 + 1) * plane],
+                dir,
+                scratch,
+            );
         }
-        self.axis0.execute_inplace(data, dir);
+        self.axis0.execute_inplace_scratch(data, dir, scratch);
     }
 }
 

@@ -6,13 +6,16 @@
 
 use crate::complex::C64;
 use crate::plan::Direction;
+use crate::twiddle;
+use std::sync::Arc;
 
 /// Precomputed state for power-of-two FFTs of a fixed size.
 #[derive(Debug, Clone)]
 pub struct Radix2Plan {
     n: usize,
-    /// Forward twiddles `w[j] = e^{-2πi·j/n}` for `j < n/2`.
-    twiddles: Vec<C64>,
+    /// Shared forward twiddles `w[j] = e^{-2πi·j/n}`; the butterfly loops
+    /// only read `j < n/2`.
+    twiddles: Arc<[C64]>,
     /// Bit-reversal permutation of `0..n`.
     bitrev: Vec<u32>,
 }
@@ -21,11 +24,12 @@ impl Radix2Plan {
     /// Builds a plan for size `n`, which must be a power of two (and fit the
     /// `u32` permutation table, i.e. `n < 2³²`).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "Radix2Plan requires a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "Radix2Plan requires a power of two, got {n}"
+        );
         assert!(n < (1usize << 32), "size too large for permutation table");
-        let twiddles = (0..n / 2)
-            .map(|j| C64::expi(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
-            .collect();
+        let twiddles = twiddle::forward_table(n);
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
             .map(|i| {
@@ -36,7 +40,11 @@ impl Radix2Plan {
                 }
             })
             .collect();
-        Radix2Plan { n, twiddles, bitrev }
+        Radix2Plan {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform size.

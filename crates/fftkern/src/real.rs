@@ -18,7 +18,10 @@ use crate::plan::{Direction, Plan1d};
 /// (the remaining bins are the conjugate mirror). `n` must be even and ≥ 2.
 pub fn r2c_1d(input: &[f64]) -> Vec<C64> {
     let n = input.len();
-    assert!(n >= 2 && n.is_multiple_of(2), "r2c requires even n >= 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "r2c requires even n >= 2, got {n}"
+    );
     let h = n / 2;
 
     // Pack pairs (x[2j], x[2j+1]) as complex values and transform at n/2.
@@ -36,9 +39,17 @@ pub fn r2c_1d(input: &[f64]) -> Vec<C64> {
 /// The row-local kernel of every r2c transform, including the distributed
 /// 3-D one.
 pub fn untangle_half(z: &[C64], n: usize) -> Vec<C64> {
+    let mut out = Vec::with_capacity(n / 2 + 1);
+    untangle_half_into(z, n, &mut out);
+    out
+}
+
+/// Appending form of [`untangle_half`] for callers that untangle many rows
+/// into one buffer (the distributed r2c pipeline) — no per-row allocation.
+pub fn untangle_half_into(z: &[C64], n: usize, out: &mut Vec<C64>) {
     let h = n / 2;
     assert_eq!(z.len(), h, "packed spectrum must have n/2 bins");
-    let mut out = Vec::with_capacity(h + 1);
+    out.reserve(h + 1);
     for k in 0..=h {
         let zk = if k == h { z[0] } else { z[k] };
         let zmk = z[(h - k % h) % h].conj();
@@ -47,15 +58,21 @@ pub fn untangle_half(z: &[C64], n: usize) -> Vec<C64> {
         let w = C64::expi(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
         out.push(e + w * o);
     }
-    out
 }
 
 /// Inverse of [`untangle_half`]: rebuilds the packed half-size spectrum from
 /// the `n/2 + 1` half bins, ready for an inverse FFT of length `n/2`.
 pub fn retangle_half(spectrum: &[C64], n: usize) -> Vec<C64> {
+    let mut z = Vec::with_capacity(n / 2);
+    retangle_half_into(spectrum, n, &mut z);
+    z
+}
+
+/// Appending form of [`retangle_half`] — see [`untangle_half_into`].
+pub fn retangle_half_into(spectrum: &[C64], n: usize, z: &mut Vec<C64>) {
     let h = n / 2;
     assert_eq!(spectrum.len(), h + 1, "half spectrum must have n/2+1 bins");
-    let mut z = Vec::with_capacity(h);
+    z.reserve(h);
     for k in 0..h {
         let xk = spectrum[k];
         let xmk = spectrum[h - k].conj();
@@ -65,14 +82,20 @@ pub fn retangle_half(spectrum: &[C64], n: usize) -> Vec<C64> {
         let o = (xk - xmk).scale(0.5) * w_inv;
         z.push(e + o * C64::I);
     }
-    z
 }
 
 /// Inverse complex-to-real transform: `n/2 + 1` half-spectrum bins →
 /// `n` reals, unnormalized (scaled by `n` relative to the original signal).
 pub fn c2r_1d(spectrum: &[C64], n: usize) -> Vec<f64> {
-    assert!(n >= 2 && n.is_multiple_of(2), "c2r requires even n >= 2, got {n}");
-    assert_eq!(spectrum.len(), n / 2 + 1, "half spectrum must have n/2+1 bins");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "c2r requires even n >= 2, got {n}"
+    );
+    assert_eq!(
+        spectrum.len(),
+        n / 2 + 1,
+        "half spectrum must have n/2+1 bins"
+    );
     let h = n / 2;
 
     let mut z = retangle_half(spectrum, n);
@@ -105,7 +128,9 @@ mod tests {
     use crate::dft::dft_1d;
 
     fn real_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (0.13 * i as f64).sin() + 0.5 * (0.71 * i as f64).cos()).collect()
+        (0..n)
+            .map(|i| (0.13 * i as f64).sin() + 0.5 * (0.71 * i as f64).cos())
+            .collect()
     }
 
     #[test]

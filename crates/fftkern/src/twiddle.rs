@@ -1,0 +1,72 @@
+//! Process-wide twiddle-table cache.
+//!
+//! Every FFT algorithm in this crate consumes the same family of tables —
+//! `w[j] = e^{-2πi·j/n}` — and the seed implementation recomputed them on
+//! every plan construction. Since a distributed run builds the same handful
+//! of 1-D lengths over and over (once per axis per rank per execution), the
+//! tables are interned here: the first request for a length pays the `O(n)`
+//! trig cost, every later plan shares the same allocation via `Arc`.
+//!
+//! The table for length `n` holds all `n` roots. The radix-2 engine only
+//! reads the first `n/2` entries; the mixed-radix engine reads all of them.
+//! Both index into the same shared table so a `Radix2Plan` and a
+//! `MixedPlan` of equal size share storage, as does the power-of-two
+//! convolution plan inside every Bluestein plan.
+
+use crate::complex::C64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+static TABLES: OnceLock<Mutex<HashMap<usize, Arc<[C64]>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the shared forward twiddle table for length `n`:
+/// `w[j] = e^{-2πi·j/n}` for `j < n`.
+pub fn forward_table(n: usize) -> Arc<[C64]> {
+    assert!(n > 0, "twiddle table requires n >= 1");
+    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = tables.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(t) = map.get(&n) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(t);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let table: Arc<[C64]> = (0..n)
+        .map(|j| C64::expi(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+        .collect();
+    map.insert(n, Arc::clone(&table));
+    table
+}
+
+/// Number of cache hits since process start (for tests and bench reports).
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// Number of cache misses (= distinct lengths built) since process start.
+pub fn misses() -> u64 {
+    MISSES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_are_roots_of_unity() {
+        let t = forward_table(8);
+        assert_eq!(t.len(), 8);
+        assert!((t[0].re - 1.0).abs() < 1e-12 && t[0].im.abs() < 1e-12);
+        // w[2] = e^{-iπ/2} = -i.
+        assert!(t[2].re.abs() < 1e-12 && (t[2].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_requests_share_storage() {
+        let a = forward_table(24);
+        let b = forward_table(24);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -133,13 +133,13 @@ mod tests {
         // 512³ transform. Check the model reproduces the crossover.
         let p = ModelParams::summit();
         let grids = [
-            (6usize, 2usize, 3usize),    // 1 node
+            (6usize, 2usize, 3usize), // 1 node
             (12, 3, 4),
             (24, 4, 6),
             (48, 6, 8),
             (96, 8, 12),
-            (192, 12, 16),   // 32 nodes
-            (384, 16, 24),   // 64 nodes
+            (192, 12, 16), // 32 nodes
+            (384, 16, 24), // 64 nodes
         ];
         for (pi, pg, qg) in grids {
             let slab = t_slabs(N512, pi, &p);

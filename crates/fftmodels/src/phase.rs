@@ -45,12 +45,15 @@ pub fn predict_decomp(n: [usize; 3], ranks: usize, params: &ModelParams) -> Phas
     }
 }
 
-/// Builds a phase diagram over a sweep of rank counts.
-pub fn phase_diagram(n: [usize; 3], rank_counts: &[usize], params: &ModelParams) -> Vec<PhasePoint> {
-    rank_counts
-        .iter()
-        .map(|&r| predict_decomp(n, r, params))
-        .collect()
+/// Builds a phase diagram over a sweep of rank counts. Points are evaluated
+/// in parallel (each is independent) and returned in input order, identical
+/// to a serial evaluation.
+pub fn phase_diagram(
+    n: [usize; 3],
+    rank_counts: &[usize],
+    params: &ModelParams,
+) -> Vec<PhasePoint> {
+    crate::par::par_map(rank_counts, |&r| predict_decomp(n, r, params))
 }
 
 /// The smallest rank count in `rank_counts` at which pencils overtake slabs

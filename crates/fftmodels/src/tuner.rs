@@ -3,7 +3,7 @@
 //! ("a careful tuning of the algorithm yields to linear scalability"),
 //! seeded by the closed-form phase diagram.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::Decomp;
 use simgrid::{MachineSpec, SimTime};
@@ -80,21 +80,27 @@ pub fn tune(machine: &MachineSpec, n: [usize; 3], nranks: usize) -> TunedChoice 
         decomps.push(alt);
     }
 
-    let mut candidates = Vec::new();
-    for &decomp in &decomps {
-        for backend in backends() {
-            for gpu_aware in [true, false] {
-                let opts = FftOptions {
-                    decomp,
-                    backend,
-                    io: IoLayout::Brick,
-                    ..FftOptions::default()
-                };
-                let t = evaluate(machine, n, nranks, opts.clone(), gpu_aware);
-                candidates.push((opts, gpu_aware, t));
-            }
-        }
-    }
+    // Enumerate the candidate grid, then dry-run every cell in parallel.
+    // The grid order is preserved, so the stable sort below breaks ties
+    // exactly as a serial sweep would.
+    let grid: Vec<(Decomp, CommBackend, bool)> = decomps
+        .iter()
+        .flat_map(|&decomp| {
+            backends()
+                .into_iter()
+                .flat_map(move |backend| [true, false].map(|aware| (decomp, backend, aware)))
+        })
+        .collect();
+    let mut candidates = crate::par::par_map(&grid, |&(decomp, backend, gpu_aware)| {
+        let opts = FftOptions {
+            decomp,
+            backend,
+            io: IoLayout::Brick,
+            ..FftOptions::default()
+        };
+        let t = evaluate(machine, n, nranks, opts.clone(), gpu_aware);
+        (opts, gpu_aware, t)
+    });
     candidates.sort_by_key(|(_, _, t)| *t);
     let (opts, gpu_aware, time) = candidates[0].clone();
     TunedChoice {

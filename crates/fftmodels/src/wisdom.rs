@@ -114,7 +114,12 @@ impl Wisdom {
     }
 
     /// Looks up a remembered outcome.
-    pub fn lookup(&self, machine: &MachineSpec, n: [usize; 3], ranks: usize) -> Option<&WisdomEntry> {
+    pub fn lookup(
+        &self,
+        machine: &MachineSpec,
+        n: [usize; 3],
+        ranks: usize,
+    ) -> Option<&WisdomEntry> {
         self.entries.get(&WisdomKey {
             machine: machine.name.to_string(),
             n,
@@ -286,8 +291,14 @@ mod tests {
         let text = w.to_text();
         let back = Wisdom::from_text(&text);
         assert_eq!(back.len(), 2);
-        assert_eq!(back.lookup(&summit, [512, 512, 512], 192), w.lookup(&summit, [512, 512, 512], 192));
-        assert_eq!(back.lookup(&spock, [64, 64, 64], 16), w.lookup(&spock, [64, 64, 64], 16));
+        assert_eq!(
+            back.lookup(&summit, [512, 512, 512], 192),
+            w.lookup(&summit, [512, 512, 512], 192)
+        );
+        assert_eq!(
+            back.lookup(&spock, [64, 64, 64], 16),
+            w.lookup(&spock, [64, 64, 64], 16)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! paper's shape. PPPM uses ik-differentiation: one forward and three
 //! inverse transforms per MD step.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::Decomp;
 use simgrid::link::{message_time_ns, TransferCtx};
@@ -148,9 +148,10 @@ pub fn run_rhodopsin(machine: &MachineSpec, cfg: &RhodopsinConfig) -> MdBreakdow
     for step in 0..cfg.steps {
         // Pair forces.
         let pair_flops = atoms_local * NEIGHBORS_PER_ATOM * FLOPS_PER_PAIR;
-        let pair_ns = km.pointwise_ns(atoms_local as usize, 0.0).max(
-            (pair_flops / (machine.gpu.fp64_tflops * 1e12 * 0.25) * 1e9).ceil() as u64,
-        ) + km.gpu().launch_ns;
+        let pair_ns = km
+            .pointwise_ns(atoms_local as usize, 0.0)
+            .max((pair_flops / (machine.gpu.fp64_tflops * 1e12 * 0.25) * 1e9).ceil() as u64)
+            + km.gpu().launch_ns;
         bd.pair += SimTime::from_ns(pair_ns);
 
         // Neighbor rebuild.
@@ -217,8 +218,7 @@ mod tests {
         let steps = 3;
         let default = run_rhodopsin(&summit(), &RhodopsinConfig::fftmpi_default(steps));
         let tuned = run_rhodopsin(&summit(), &RhodopsinConfig::heffte_tuned(steps));
-        let reduction =
-            1.0 - tuned.kspace.as_ns() as f64 / default.kspace.as_ns() as f64;
+        let reduction = 1.0 - tuned.kspace.as_ns() as f64 / default.kspace.as_ns() as f64;
         assert!(
             (0.25..=0.55).contains(&reduction),
             "KSPACE reduction {:.1}% outside the paper's ~40% band \

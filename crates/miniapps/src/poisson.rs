@@ -10,7 +10,7 @@
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
 use distfft::Box3;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::{MachineSpec, SimTime};
 
@@ -93,7 +93,13 @@ pub fn solve_poisson_distributed(
         let in_box = plan.dists[0].rank_box(rank.rank());
         let mut data = vec![whole.extract(rho, in_box)];
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
         );
 
         // Green's-function multiply in the output layout.
@@ -119,7 +125,13 @@ pub fn solve_poisson_distributed(
         }
 
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
         );
 
         // Normalize (unnormalized transforms scale by N).
@@ -221,7 +233,11 @@ mod tests {
         fftkern::nd::fft_3d(&mut spec, n[0], n[1], n[2], Direction::Inverse);
         fftkern::nd::normalize(&mut spec, n[0] * n[1] * n[2]);
         // Zero-mean projection of rho (the k=0 mode is gauged away).
-        let mean: C64 = rho.iter().copied().sum::<C64>().scale(1.0 / rho.len() as f64);
+        let mean: C64 = rho
+            .iter()
+            .copied()
+            .sum::<C64>()
+            .scale(1.0 / rho.len() as f64);
         let rho0: Vec<C64> = rho.iter().map(|v| *v - mean).collect();
         assert!(max_abs_diff(&spec, &rho0) < 1e-8);
     }
@@ -230,13 +246,8 @@ mod tests {
     fn distributed_solve_matches_serial() {
         let n = [8usize, 8, 8];
         let rho = test_density(n);
-        let res = solve_poisson_distributed(
-            &MachineSpec::testbox(2),
-            4,
-            n,
-            FftOptions::default(),
-            &rho,
-        );
+        let res =
+            solve_poisson_distributed(&MachineSpec::testbox(2), 4, n, FftOptions::default(), &rho);
         assert!(
             res.rel_error < 1e-12,
             "distributed poisson error {}",

@@ -6,11 +6,11 @@
 //! 2/3-rule dealiasing, inverse FFT. Three independent transforms per step
 //! is exactly the workload that batched FFTs (paper Fig. 13) accelerate.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
 use distfft::Box3;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::{MachineSpec, SimTime};
 
@@ -69,12 +69,15 @@ pub fn spectral_step(
         let bound = bind(&plan, rank, &comm);
         let mut ctx = ExecCtx::new();
         let in_box = plan.dists[0].rank_box(rank.rank());
-        let mut data: Vec<Vec<C64>> = fields
-            .iter()
-            .map(|f| whole.extract(f, in_box))
-            .collect();
+        let mut data: Vec<Vec<C64>> = fields.iter().map(|f| whole.extract(f, in_box)).collect();
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
         );
 
         // i·k₀ derivative + dealiasing in the spectral (output) layout.
@@ -105,7 +108,13 @@ pub fn spectral_step(
         }
 
         execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
         );
         let scale = 1.0 / total as f64;
         for comp in data.iter_mut() {
@@ -153,7 +162,14 @@ pub fn batching_comparison(
             ..base.clone()
         },
     );
-    let single_plan = FftPlan::build(n, ranks, FftOptions { batch: 1, ..base.clone() });
+    let single_plan = FftPlan::build(
+        n,
+        ranks,
+        FftOptions {
+            batch: 1,
+            ..base.clone()
+        },
+    );
 
     let mut batched = DryRunner::new(&batched_plan, machine, DryRunOpts::default());
     let t_batched = batched.timed_average(2, 4);

@@ -12,11 +12,11 @@
 //! (SpectrumMPI's non-GPU-aware `Alltoallw` vs MVAPICH-GDR's GPU-aware
 //! one), and switching the backend away from `Alltoallw` entirely.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{CommBackend, FftOptions, FftPlan};
 use distfft::Box3;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use mpisim::MpiDistro;
 use simgrid::{MachineSpec, SimTime};
@@ -55,7 +55,15 @@ pub fn psatd_step(
         let mut ctx = ExecCtx::new();
         let b_in = plan.dists[0].rank_box(rank.rank());
         let mut data = vec![whole.extract(field, b_in)];
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward);
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
+        );
 
         // k-space push on the spectral layout.
         let b = plan.dists[plan.dists.len() - 1].rank_box(rank.rank());
@@ -79,7 +87,15 @@ pub fn psatd_step(
             rank.compute_ns(km.pointwise_ns(b.volume(), 20.0));
         }
 
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse);
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
+        );
         let scale = 1.0 / total as f64;
         for v in data[0].iter_mut() {
             *v = v.scale(scale);

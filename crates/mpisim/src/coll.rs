@@ -360,14 +360,7 @@ pub fn allgather<T: Clone + Send + 'static>(
     let out = comm.control_allgather(rank, value);
     let np = net_params(rank);
     // p-1 rounds each carrying `bytes` (ring cost == pairwise cost here).
-    let exits = pattern::pairwise_times(
-        &np,
-        &env,
-        comm.members(),
-        &entries,
-        &|_i, _j| bytes,
-        0,
-    );
+    let exits = pattern::pairwise_times(&np, &env, comm.members(), &entries, &|_i, _j| bytes, 0);
     rank.clock.sync_to(exits[comm.me()]);
     out
 }
@@ -454,14 +447,7 @@ mod tests {
             .iter()
             .map(|t| *t + simgrid::SimTime::from_ns(setup))
             .collect();
-        let got = alltoall_exit_times(
-            &np,
-            &env,
-            MpiDistro::SpectrumMpi,
-            &group,
-            &entries,
-            tiny,
-        );
+        let got = alltoall_exit_times(&np, &env, MpiDistro::SpectrumMpi, &group, &entries, tiny);
         let bruck = bruck_times(&np, &env, &group, &shifted_entries, &[tiny * 24; 24]);
         let pairwise = pairwise_times(&np, &env, &group, &shifted_entries, &|_, _| tiny, 0);
         assert_eq!(got, bruck, "tiny blocks must take the Bruck schedule");
@@ -469,16 +455,8 @@ mod tests {
 
         // Large blocks take the pairwise schedule.
         let big = 1 << 20;
-        let got_big = alltoall_exit_times(
-            &np,
-            &env,
-            MpiDistro::SpectrumMpi,
-            &group,
-            &entries,
-            big,
-        );
-        let pairwise_big =
-            pairwise_times(&np, &env, &group, &shifted_entries, &|_, _| big, 0);
+        let got_big = alltoall_exit_times(&np, &env, MpiDistro::SpectrumMpi, &group, &entries, big);
+        let pairwise_big = pairwise_times(&np, &env, &group, &shifted_entries, &|_, _| big, 0);
         assert_eq!(got_big, pairwise_big);
     }
 
@@ -581,7 +559,10 @@ mod tests {
         // scale the blocking flavor pays its per-send posting serialization
         // more visibly; the paper-scale check (512^3, 24 GPUs) lives in the
         // fig3/fig7 harnesses.
-        assert!((b / nb - 1.0).abs() < 0.4, "blocking {b} vs nonblocking {nb}");
+        assert!(
+            (b / nb - 1.0).abs() < 0.4,
+            "blocking {b} vs nonblocking {nb}"
+        );
     }
 
     #[test]
@@ -625,7 +606,10 @@ mod tests {
         });
         let max_entry = 6 * 10_000u64;
         for t in &out {
-            assert!(t.as_ns() >= max_entry, "barrier exited before slowest entry");
+            assert!(
+                t.as_ns() >= max_entry,
+                "barrier exited before slowest entry"
+            );
         }
     }
 

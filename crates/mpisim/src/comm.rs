@@ -365,7 +365,11 @@ impl Comm {
     /// Gathers one value from every member, in member order. Zero simulated
     /// cost: this is simulator control-plane traffic, used by collectives to
     /// agree on entry times and byte counts.
-    pub fn control_allgather<T: Clone + Send + 'static>(&self, rank: &mut Rank, value: T) -> Vec<T> {
+    pub fn control_allgather<T: Clone + Send + 'static>(
+        &self,
+        rank: &mut Rank,
+        value: T,
+    ) -> Vec<T> {
         let tag = rank.ctrl_tag(self.id);
         for (i, &w) in self.members.iter().enumerate() {
             if i != self.my_index {
@@ -383,7 +387,9 @@ impl Comm {
             let (v, _) = rank.recv_typed::<T>(key);
             out[i] = Some(v);
         }
-        out.into_iter().map(|v| v.expect("allgather hole")).collect()
+        out.into_iter()
+            .map(|v| v.expect("allgather hole"))
+            .collect()
     }
 
     /// Moves one payload to each member (index-addressed) and receives one

@@ -34,14 +34,14 @@
 //! the same walkers with the same arguments, which is what makes
 //! functional-mode and analytic-mode timings identical by construction.
 
-pub mod comm;
-pub mod p2p;
 pub mod coll;
+pub mod comm;
 pub mod datatype;
 pub mod distro;
+pub mod p2p;
 pub mod pattern;
 
 pub use comm::{Comm, Rank, World, WorldOpts};
 pub use datatype::Subarray;
 pub use distro::MpiDistro;
-pub use pattern::{PhaseEnv, P2pFlavor};
+pub use pattern::{P2pFlavor, PhaseEnv};

@@ -40,7 +40,10 @@ fn net_params<'a>(rank: &Rank<'a>) -> NetParams<'a> {
 }
 
 fn check_tag(tag: u64) {
-    assert!(tag & CONTROL_BIT == 0, "user tags must not set the control bit");
+    assert!(
+        tag & CONTROL_BIT == 0,
+        "user tags must not set the control bit"
+    );
 }
 
 /// Per-message posting overhead, including GPU-aware registration when the
@@ -253,7 +256,10 @@ mod tests {
         });
         let (first, second) = out[0];
         // The second injection must start after the first finishes.
-        assert!(second >= 2 * first - first / 10, "first {first}, second {second}");
+        assert!(
+            second >= 2 * first - first / 10,
+            "first {first}, second {second}"
+        );
     }
 
     #[test]
@@ -295,8 +301,7 @@ mod tests {
             let comm = Comm::world(r);
             let other = 1 - r.rank();
             let mine = vec![r.rank() as u32; 8];
-            let theirs: Vec<u32> =
-                sendrecv(r, &comm, other, 3, mine, 32, other, 3);
+            let theirs: Vec<u32> = sendrecv(r, &comm, other, 3, mine, 32, other, 3);
             theirs[0]
         });
         assert_eq!(out, vec![1, 0]);

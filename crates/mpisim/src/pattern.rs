@@ -165,8 +165,8 @@ pub fn pairwise_times(
         for i in 0..p {
             let dst = (i + step) % p;
             let (inject, _lat) = msg_parts(np, env, bytes(i, dst), group[i], group[dst]);
-            let start = (now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + extra_per_msg_ns))
-                .max(nic[i]);
+            let start =
+                (now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + extra_per_msg_ns)).max(nic[i]);
             inj_end[i] = start + SimTime::from_ns(inject);
         }
         for i in 0..p {
@@ -325,8 +325,7 @@ pub fn barrier_times(
         for i in 0..p {
             let dst = (i + round) % p;
             let (_, lat) = msg_parts(np, env, 0, group[i], group[dst]);
-            arrive[dst] = arrive[dst]
-                .max(now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + lat));
+            arrive[dst] = arrive[dst].max(now[i] + SimTime::from_ns(SEND_OVERHEAD_NS + lat));
         }
         for i in 0..p {
             now[i] = now[i].max(arrive[i]) + SimTime::from_ns(RECV_OVERHEAD_NS);
@@ -508,8 +507,14 @@ mod tests {
         let env = PhaseEnv::quiet(true);
         let base = pairwise_times(&np(&spec), &env, &group, &zeros(6), &|_, _| 1 << 16, 0);
         let shifted_entries: Vec<SimTime> = vec![SimTime::from_us(100); 6];
-        let shifted =
-            pairwise_times(&np(&spec), &env, &group, &shifted_entries, &|_, _| 1 << 16, 0);
+        let shifted = pairwise_times(
+            &np(&spec),
+            &env,
+            &group,
+            &shifted_entries,
+            &|_, _| 1 << 16,
+            0,
+        );
         for (b, s) in base.iter().zip(&shifted) {
             assert_eq!(s.as_ns() - b.as_ns(), 100_000);
         }

@@ -23,11 +23,11 @@
 //!   §IV-A);
 //! * 6 GPUs/node on Summit, 4 GPUs/node on Spock, 1 MPI rank per GPU.
 
-pub mod time;
-pub mod machine;
-pub mod link;
 pub mod device;
+pub mod link;
+pub mod machine;
 pub mod noise;
+pub mod time;
 
 pub use device::{DeviceBuffer, MemSpace};
 pub use link::{LinkPath, TransferCtx};

@@ -107,10 +107,7 @@ pub fn message_time_ns(
                 // host-link bandwidth (pageable staging buffers, CPU copy),
                 // plus the extra staging latency.
                 let hop = ns_for(bytes, spec.host_link_gbs / 2.5);
-                spec.intra_latency_ns
-                    + spec.staging_latency_ns
-                    + proto
-                    + (2.0 * hop).ceil() as u64
+                spec.intra_latency_ns + spec.staging_latency_ns + proto + (2.0 * hop).ceil() as u64
             }
         }
         LinkPath::InterNode => {

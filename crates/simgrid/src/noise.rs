@@ -19,7 +19,10 @@ pub struct Noise {
 impl Noise {
     /// Creates a generator with the given seed and amplitude.
     pub fn new(seed: u64, amplitude: f64) -> Noise {
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0,1)"
+        );
         Noise {
             state: seed | 1, // never zero
             amplitude,
@@ -93,7 +96,10 @@ mod tests {
         let b = hash_jitter(42, 7, 3, 9, 0.05);
         assert_eq!(a, b);
         assert!((0.95..=1.05).contains(&a));
-        assert_ne!(hash_jitter(42, 7, 3, 9, 0.05), hash_jitter(42, 8, 3, 9, 0.05));
+        assert_ne!(
+            hash_jitter(42, 7, 3, 9, 0.05),
+            hash_jitter(42, 8, 3, 9, 0.05)
+        );
         assert_eq!(hash_jitter(1, 2, 3, 4, 0.0), 1.0);
     }
 

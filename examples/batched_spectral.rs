@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example batched_spectral`
 
-use fftkern::C64;
 use distfft::plan::FftOptions;
+use fftkern::C64;
 use miniapps::spectral::{batching_comparison, spectral_step, SpectralConfig};
 use simgrid::MachineSpec;
 
@@ -58,13 +58,8 @@ fn main() {
     // The Fig. 13 measurement at application scale: 64^3, batch of 16.
     println!();
     println!("batching win on a 64^3 transform (2 Summit nodes, batch 16):");
-    let (batched, isolated) = batching_comparison(
-        &machine,
-        [64, 64, 64],
-        12,
-        16,
-        &FftOptions::default(),
-    );
+    let (batched, isolated) =
+        batching_comparison(&machine, [64, 64, 64], 12, 16, &FftOptions::default());
     println!(
         "  per transform: batched {batched}, isolated {isolated}  ->  speedup {:.2}x",
         isolated.as_ns() as f64 / batched.as_ns() as f64

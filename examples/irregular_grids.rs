@@ -31,7 +31,12 @@ fn main() {
     ];
     println!("input boxes:");
     for (r, b) in boxes.iter().enumerate() {
-        println!("  rank {r}: {:?} -> {:?}  ({} elements)", b.lo, b.hi, b.volume());
+        println!(
+            "  rank {r}: {:?} -> {:?}  ({} elements)",
+            b.lo,
+            b.hi,
+            b.volume()
+        );
     }
 
     let input = Distribution::from_boxes(n, boxes.clone());

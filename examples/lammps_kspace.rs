@@ -40,7 +40,10 @@ fn main() {
     let default_bd = run_rhodopsin(&machine, &default_cfg);
     let tuned_bd = run_rhodopsin(&machine, &tuned_cfg);
 
-    println!("{:>8} {:>16} {:>16}", "phase", "fftMPI default", "heFFTe tuned");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "phase", "fftMPI default", "heFFTe tuned"
+    );
     for ((label, a), (_, b)) in default_bd.rows().into_iter().zip(tuned_bd.rows()) {
         println!("{label:>8} {:>14.4} s {:>14.4} s", a.as_secs(), b.as_secs());
     }

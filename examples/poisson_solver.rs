@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example poisson_solver`
 
+use distfft::plan::FftOptions;
 use fftkern::C64;
 use miniapps::poisson::{solve_poisson_distributed, test_density};
-use distfft::plan::FftOptions;
 use simgrid::MachineSpec;
 
 fn main() {

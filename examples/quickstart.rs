@@ -10,7 +10,7 @@
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
 use distfft::Box3;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
@@ -23,7 +23,10 @@ fn main() {
     // exchanges, brick-shaped input/output (what a real simulation hands us).
     let plan = FftPlan::build(n, ranks, FftOptions::default());
     print!("{plan}");
-    println!("({} non-identity exchanges per transform)", plan.exchange_count());
+    println!(
+        "({} non-identity exchanges per transform)",
+        plan.exchange_count()
+    );
 
     // A smooth global field.
     let total = n[0] * n[1] * n[2];
@@ -47,10 +50,22 @@ fn main() {
         let mut data = vec![whole.extract(&global, my_box)];
 
         let fwd = execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
         );
         let inv = execute(
-            &plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse,
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
         );
 
         // Unnormalized transforms: forward+inverse scales by N.

@@ -27,7 +27,10 @@ fn main() {
         .iter()
         .map(|nodes| nodes * machine.gpus_per_node)
         .collect();
-    println!("{:>6} {:>7} {:>12} {:>12} {:>8}", "nodes", "ranks", "T_slabs", "T_pencils", "winner");
+    println!(
+        "{:>6} {:>7} {:>12} {:>12} {:>8}",
+        "nodes", "ranks", "T_slabs", "T_pencils", "winner"
+    );
     for pt in phase_diagram(size, &rank_counts, &params) {
         let ts = pt
             .t_slabs

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Local CI gate: formatting, lints-as-errors, and the full offline test
+# suite. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace --offline -q
+
+echo "CI green."

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: the full stack from tuner to functional
 //! execution, and the paper's headline claims as assertions.
 
-use distfft::dryrun::{DryRunner, DryRunOpts};
+use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::Decomp;
-use fftkern::{C64, Direction};
+use fftkern::{Direction, C64};
 use fftmodels::bandwidth::ModelParams;
 use fftmodels::phase::crossover_ranks;
 use fftmodels::tuner::tune;
@@ -41,8 +41,24 @@ fn tuned_configuration_executes_functionally() {
         let vol = plan.dists[0].rank_box(rank.rank()).volume();
         let orig: Vec<C64> = (0..vol).map(|i| C64::new(i as f64, -1.0)).collect();
         let mut data = vec![orig.clone()];
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward);
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Inverse);
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
+        );
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
+        );
         let scale = 1.0 / plan.total_elems() as f64;
         data[0]
             .iter()
@@ -150,7 +166,9 @@ fn gpu_aware_p2p_fails_at_scale_but_alltoall_does_not() {
         a + b
     };
     // A2A keeps scaling 96 -> 768 with GPU-awareness.
-    assert!(comm_time(CommBackend::AllToAllV, 768, true) < comm_time(CommBackend::AllToAllV, 96, true));
+    assert!(
+        comm_time(CommBackend::AllToAllV, 768, true) < comm_time(CommBackend::AllToAllV, 96, true)
+    );
     // GPU-aware P2P bottoms around 64 nodes and gets *slower* toward 768
     // ranks (the Fig. 9 cliff); staged P2P keeps scaling all the way.
     assert!(comm_time(CommBackend::P2p, 768, true) > comm_time(CommBackend::P2p, 384, true));
@@ -255,7 +273,15 @@ fn two_dimensional_transforms_via_degenerate_axis() {
         let mut ctx = ExecCtx::new();
         let b = plan.dists[0].rank_box(rank.rank());
         let mut data = vec![whole.extract(&global, b)];
-        execute(&plan, &bound, &mut ctx, rank, &comm, &mut data, Direction::Forward);
+        execute(
+            &plan,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
+        );
         data.remove(0)
     });
 

@@ -1,0 +1,137 @@
+//! Pooled-scratch executor identity: the hot-path machinery added by the
+//! execution overhaul (global 1-D plan cache, interned twiddle tables,
+//! per-rank reshape-buffer pool) is a pure optimisation. Re-running a
+//! transform through a *warmed* `ExecCtx` — pool populated, every 1-D plan
+//! a cache hit — must produce output bit-identical to the first, cold run,
+//! for every decomposition × communication backend.
+
+use distfft::boxes::Box3;
+use distfft::exec::{bind, execute, ExecCtx};
+use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
+use distfft::Decomp;
+use fftkern::{Direction, C64};
+use mpisim::comm::{Comm, World, WorldOpts};
+use simgrid::MachineSpec;
+
+/// Forward+inverse round trip, run `reps` times through the same `ExecCtx`.
+/// Returns per-run output bits plus the number of buffers left in the pool.
+fn repeated_roundtrips(
+    opts: FftOptions,
+    n: [usize; 3],
+    ranks: usize,
+    reps: usize,
+) -> Vec<(Vec<Vec<u64>>, usize)> {
+    let plan = FftPlan::build(n, ranks, opts);
+    let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
+    let whole = Box3::whole(n);
+    let global: Vec<C64> = (0..n[0] * n[1] * n[2])
+        .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()))
+        .collect();
+    world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(&plan, rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let b = plan.dists[0].rank_box(rank.rank());
+        let orig = whole.extract(&global, b);
+        let mut runs = Vec::new();
+        for _ in 0..reps {
+            let mut data = vec![orig.clone()];
+            execute(
+                &plan,
+                &bound,
+                &mut ctx,
+                rank,
+                &comm,
+                &mut data,
+                Direction::Forward,
+            );
+            execute(
+                &plan,
+                &bound,
+                &mut ctx,
+                rank,
+                &comm,
+                &mut data,
+                Direction::Inverse,
+            );
+            let bits: Vec<u64> = data
+                .remove(0)
+                .iter()
+                .flat_map(|c| [c.re.to_bits(), c.im.to_bits()])
+                .collect();
+            runs.push(bits);
+        }
+        (runs, ctx.pooled_buffers())
+    })
+}
+
+#[test]
+fn warm_pool_bit_identical_to_cold_for_every_decomp_and_backend() {
+    let n = [8usize, 12, 10];
+    let ranks = 4;
+    for decomp in [Decomp::Slabs, Decomp::Pencils, Decomp::Bricks] {
+        for backend in [
+            CommBackend::AllToAll,
+            CommBackend::AllToAllV,
+            CommBackend::P2p,
+            CommBackend::P2pBlocking,
+        ] {
+            let opts = FftOptions {
+                decomp,
+                backend,
+                ..FftOptions::default()
+            };
+            for (r, (runs, _)) in repeated_roundtrips(opts, n, ranks, 3)
+                .into_iter()
+                .enumerate()
+            {
+                for (rep, bits) in runs.iter().enumerate().skip(1) {
+                    assert_eq!(
+                        &runs[0], bits,
+                        "{decomp:?}+{backend:?} rank {r}: warm rep {rep} diverged from cold run"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_pool_bit_identical_with_subarray_datatypes() {
+    // Alltoallw + brick I/O exercises the no-pack path and both boundary
+    // reshapes — the most reshape-heavy plan shape.
+    let opts = FftOptions {
+        decomp: Decomp::Pencils,
+        backend: CommBackend::AllToAllW,
+        io: IoLayout::Brick,
+        ..FftOptions::default()
+    };
+    for (r, (runs, pooled)) in repeated_roundtrips(opts, [8, 12, 10], 4, 3)
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(runs[0], runs[1], "rank {r}: rep 1 diverged");
+        assert_eq!(runs[0], runs[2], "rank {r}: rep 2 diverged");
+        assert!(pooled > 0, "rank {r}: reshape pool never retained a buffer");
+    }
+}
+
+#[test]
+fn plan_cache_serves_repeated_executions() {
+    // After any distributed run, every 1-D plan the executor needs is in the
+    // global cache; a second run must not miss.
+    let _ = repeated_roundtrips(FftOptions::default(), [8, 8, 8], 4, 1);
+    let cache = fftkern::plan_cache();
+    let misses_before = cache.misses();
+    let hits_before = cache.hits();
+    let _ = repeated_roundtrips(FftOptions::default(), [8, 8, 8], 4, 1);
+    assert_eq!(
+        cache.misses(),
+        misses_before,
+        "warm re-execution should not build new 1-D plans"
+    );
+    assert!(
+        cache.hits() > hits_before,
+        "warm re-execution should hit the cache"
+    );
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of `crossbeam::thread` it actually uses —
+//! `scope`, `Scope::spawn`, and the named/stack-sized `builder()` path —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from real crossbeam are confined to unjoined-panicking-
+//! thread handling (std aborts the scope with a panic instead of returning
+//! `Err`); every caller in this workspace joins all handles explicitly, so
+//! the observable behaviour is identical.
+
+/// Scoped threads (the `crossbeam::thread` module surface).
+pub mod thread {
+    use std::io;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result type of [`scope`] and [`ScopedJoinHandle::join`].
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to the [`scope`] closure and to each spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+
+        /// Returns a builder for configuring a scoped thread's name and
+        /// stack size before spawning it.
+        pub fn builder<'s>(&'s self) -> ScopedThreadBuilder<'s, 'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: self,
+                builder: std::thread::Builder::new(),
+            }
+        }
+    }
+
+    /// Builder for a named / custom-stack scoped thread.
+    pub struct ScopedThreadBuilder<'s, 'scope, 'env> {
+        scope: &'s Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+    }
+
+    impl<'s, 'scope, 'env> ScopedThreadBuilder<'s, 'scope, 'env> {
+        /// Names the thread-to-be.
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Sets the thread's stack size in bytes.
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.builder = self.builder.stack_size(size);
+            self
+        }
+
+        /// Spawns the configured thread.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self.scope;
+            let inner = self
+                .builder
+                .spawn_scoped(self.scope.inner, move || f(&me))?;
+            Ok(ScopedJoinHandle { inner })
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment can be
+    /// spawned; all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            catch_unwind(AssertUnwindSafe(|| f(&wrapper)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| {
+                    scope
+                        .builder()
+                        .name(format!("worker-{x}"))
+                        .stack_size(1 << 20)
+                        .spawn(move |_| x * 10)
+                        .expect("spawn")
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .expect("scope");
+        assert_eq!(r, 7);
+    }
+}
