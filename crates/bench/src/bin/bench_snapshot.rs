@@ -173,10 +173,56 @@ fn sweep_parallel_row() -> Row {
     }
 }
 
+/// Deterministic cache/pool efficiency numbers for the snapshot: a fresh
+/// 8-rank functional run's scratch-pool stats (per-ctx, so parallel noise
+/// can't skew them) plus the process-wide plan-cache totals.
+fn efficiency_metrics() -> (distfft::PoolStats, u64, u64) {
+    let machine = MachineSpec::testbox(2);
+    let plan = FftPlan::build([16, 16, 16], 8, FftOptions::default());
+    let world = World::new(machine, 8, WorldOpts::default());
+    let plan_ref = &plan;
+    let stats = world.run(move |rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(plan_ref, rank, &comm);
+        let mut ctx = ExecCtx::new();
+        let vol = plan_ref.dists[0].rank_box(rank.rank()).volume();
+        for _ in 0..6 {
+            let mut data = vec![vec![C64::ONE; vol]];
+            execute(
+                plan_ref,
+                &bound,
+                &mut ctx,
+                rank,
+                &comm,
+                &mut data,
+                Direction::Forward,
+            );
+        }
+        ctx.pool_stats()
+    });
+    let pool = stats
+        .iter()
+        .fold(distfft::PoolStats::default(), |a, s| distfft::PoolStats {
+            hits: a.hits + s.hits,
+            misses: a.misses + s.misses,
+            evictions: a.evictions + s.evictions,
+        });
+    (pool, plan_cache().hits(), plan_cache().misses())
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".into());
+    let obs = fft_bench::Obs::from_env();
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                let _ = args.next();
+            }
+            "--metrics" => {}
+            other => out_path = other.to_string(),
+        }
+    }
 
     let rows = vec![
         // Headline acceptance microbench: repeated single transform of an
@@ -190,6 +236,7 @@ fn main() {
 
     let headline = rows[0].speedup();
     let threshold = 2.0;
+    let (pool, pc_hits, pc_misses) = efficiency_metrics();
 
     let mut json = String::from("{\n");
     json.push_str("  \"suite\": \"hot-path execution overhaul\",\n");
@@ -210,6 +257,19 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    let pc_total = pc_hits + pc_misses;
+    let pc_rate = if pc_total == 0 {
+        0.0
+    } else {
+        pc_hits as f64 / pc_total as f64
+    };
+    json.push_str(&format!(
+        "  \"metrics\": {{\n    \"plan_cache\": {{\"hits\": {pc_hits}, \"misses\": {pc_misses}, \"hit_rate\": {pc_rate:.4}}},\n    \"exec_pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}\n  }},\n",
+        pool.hits,
+        pool.misses,
+        pool.evictions,
+        pool.hit_rate()
+    ));
     json.push_str(&format!(
         "  \"acceptance\": {{\"metric\": \"{}\", \"speedup\": {:.2}, \"threshold\": {threshold}, \"pass\": {}}}\n",
         rows[0].name,
@@ -217,6 +277,20 @@ fn main() {
         headline >= threshold
     ));
     json.push_str("}\n");
+
+    // --trace-out on the snapshot exports the timeline of one protocol run
+    // of the headline distributed configuration.
+    if obs.active() {
+        let traces = fft_bench::protocol_traces(
+            &MachineSpec::summit(),
+            [64, 64, 64],
+            24,
+            FftOptions::default(),
+            true,
+            0.0,
+        );
+        obs.emit(&traces);
+    }
 
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");

@@ -4,10 +4,11 @@
 //! plan setup). "Indeed, this also happens when using FFTW and rocFFT."
 
 use distfft::plan::{CommBackend, FftOptions};
-use fft_bench::{banner, protocol_traces, TextTable, N512};
+use fft_bench::{banner, protocol_traces, Obs, TextTable, N512};
 use simgrid::MachineSpec;
 
 fn main() {
+    let obs = Obs::from_env();
     banner(
         "Fig. 10",
         "batched 1-D FFT (n=512) call times inside the 3-D FFT, 24 V100",
@@ -35,14 +36,17 @@ fn main() {
         // ~512 rows per call — rescale to the paper's per-call granularity.
         let rows_per_pass = (N512[0] * N512[1] * N512[2]) / 24 / 512;
         let calls_per_pass = rows_per_pass / 512;
-        traces[0]
+        let durs = traces[0]
             .fft_call_durations()
             .iter()
             .map(|d| d.as_us() / calls_per_pass as f64)
-            .collect::<Vec<f64>>()
+            .collect::<Vec<f64>>();
+        (durs, traces)
     };
-    let contiguous = series(true);
-    let strided = series(false);
+    let (contiguous, contiguous_traces) = series(true);
+    let (strided, _) = series(false);
+    // The contiguous run is the timeline exported under --trace-out.
+    obs.emit(&contiguous_traces);
 
     let mut t = TextTable::new(&["pass", "contiguous (µs/call)", "strided (µs/call)"]);
     for i in 0..contiguous.len().min(strided.len()).min(30) {

@@ -7,12 +7,12 @@
 use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::trace::Trace;
-use fft_bench::{banner, TextTable, N512, PAIRS, WARMUPS};
+use fft_bench::{banner, Obs, TextTable, N512, PAIRS, WARMUPS};
 use fftkern::Direction;
 use mpisim::MpiDistro;
 use simgrid::{MachineSpec, SimTime};
 
-fn per_call(machine: &MachineSpec, backend: CommBackend, distro: MpiDistro) -> Vec<SimTime> {
+fn backend_traces(machine: &MachineSpec, backend: CommBackend, distro: MpiDistro) -> Vec<Trace> {
     let opts = FftOptions {
         backend,
         io: IoLayout::Brick,
@@ -40,18 +40,31 @@ fn per_call(machine: &MachineSpec, backend: CommBackend, distro: MpiDistro) -> V
             m.events.extend(t.events);
         }
     }
-    Trace::max_mpi_calls(&traces)
+    traces
 }
 
 fn main() {
+    let obs = Obs::from_env();
     banner(
         "Fig. 2",
         "GPU-aware All-to-All per-call comm runtime, 512^3 c2c on 24 V100 (4 nodes)",
     );
     let m = MachineSpec::summit();
-    let a2a = per_call(&m, CommBackend::AllToAll, MpiDistro::SpectrumMpi);
-    let a2av = per_call(&m, CommBackend::AllToAllV, MpiDistro::SpectrumMpi);
-    let a2aw = per_call(&m, CommBackend::AllToAllW, MpiDistro::MvapichGdr);
+    let a2a = Trace::max_mpi_calls(&backend_traces(
+        &m,
+        CommBackend::AllToAll,
+        MpiDistro::SpectrumMpi,
+    ));
+    // The Alltoallv run is the paper's winning configuration — it is the
+    // timeline exported under --trace-out.
+    let a2av_traces = backend_traces(&m, CommBackend::AllToAllV, MpiDistro::SpectrumMpi);
+    let a2av = Trace::max_mpi_calls(&a2av_traces);
+    let a2aw = Trace::max_mpi_calls(&backend_traces(
+        &m,
+        CommBackend::AllToAllW,
+        MpiDistro::MvapichGdr,
+    ));
+    obs.emit(&a2av_traces);
 
     let mut t = TextTable::new(&["call", "Alltoall (s)", "Alltoallv (s)", "Alltoallw (s)"]);
     let ncalls = a2a.len().min(a2av.len()).min(a2aw.len());

@@ -6,17 +6,18 @@
 
 use distfft::plan::{CommBackend, FftOptions};
 use distfft::trace::Trace;
-use fft_bench::{banner, protocol_traces, TextTable, N512};
+use fft_bench::{banner, protocol_traces, Obs, TextTable, N512};
 use simgrid::MachineSpec;
 
 fn main() {
+    let obs = Obs::from_env();
     banner(
         "Fig. 3",
         "GPU-aware Point-to-Point per-call comm runtime, 512^3 c2c on 24 V100",
     );
     let m = MachineSpec::summit();
     let series = |backend| {
-        let traces = protocol_traces(
+        protocol_traces(
             &m,
             N512,
             24,
@@ -26,11 +27,13 @@ fn main() {
             },
             true,
             0.04,
-        );
-        Trace::max_mpi_calls(&traces)
+        )
     };
-    let nonblocking = series(CommBackend::P2p);
-    let blocking = series(CommBackend::P2pBlocking);
+    // The non-blocking run is the timeline exported under --trace-out.
+    let nb_traces = series(CommBackend::P2p);
+    let nonblocking = Trace::max_mpi_calls(&nb_traces);
+    let blocking = Trace::max_mpi_calls(&series(CommBackend::P2pBlocking));
+    obs.emit(&nb_traces);
 
     let mut t = TextTable::new(&["call", "Isend/Irecv (s)", "Send/Irecv (s)"]);
     for i in 0..nonblocking.len().min(blocking.len()) {

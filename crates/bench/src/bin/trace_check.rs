@@ -1,0 +1,71 @@
+//! Validates a `--trace-out` Chrome-trace export (CI smoke check).
+//!
+//! Usage: `trace_check <trace.json>`. Exits non-zero (with a message on
+//! stderr) unless the file is valid JSON in the trace-event format with
+//! per-rank `pid`/`tid` lanes and the expected FFT phase names.
+
+use fftobs::json::{self, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: trace_check <trace.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc =
+        json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("missing traceEvents array"));
+
+    let mut phase_names = std::collections::BTreeSet::new();
+    let mut pids = std::collections::BTreeSet::new();
+    let mut n_complete = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or_default();
+        if ph != "X" {
+            continue;
+        }
+        n_complete += 1;
+        for field in ["name", "pid", "tid", "ts", "dur"] {
+            if e.get(field).is_none() {
+                fail(&format!("complete event missing field '{field}'"));
+            }
+        }
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap_or(-1.0);
+        if pid < 0.0 {
+            fail("complete event has a non-numeric pid");
+        }
+        pids.insert(pid as i64);
+        phase_names.insert(e.get("name").and_then(Json::as_str).unwrap().to_string());
+    }
+    if n_complete == 0 {
+        fail("no complete ('X') events in trace");
+    }
+    if pids.len() < 2 {
+        fail(&format!("expected multiple ranks (pids), found {pids:?}"));
+    }
+    for want in ["FFT", "pack", "unpack"] {
+        if !phase_names.contains(want) {
+            fail(&format!(
+                "missing expected phase '{want}'; found {phase_names:?}"
+            ));
+        }
+    }
+    if !phase_names.iter().any(|n| n.starts_with("MPI_")) {
+        fail(&format!("no MPI_* phase in trace; found {phase_names:?}"));
+    }
+    println!(
+        "ok: {} events, {} ranks, phases: {}",
+        n_complete,
+        pids.len(),
+        phase_names.into_iter().collect::<Vec<_>>().join(", ")
+    );
+}

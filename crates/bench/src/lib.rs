@@ -193,6 +193,81 @@ pub fn fmt_ms(t: SimTime) -> String {
     format!("{:10.3}", t.as_ms())
 }
 
+/// Observability options of a figure harness, parsed from the command line.
+///
+/// * `--trace-out <file>` — export the harness's per-rank timeline as
+///   Chrome-trace JSON (load in `chrome://tracing` / <https://ui.perfetto.dev>).
+/// * `--metrics` (or env `FFT_METRICS=1`) — print the span summary and the
+///   global metrics snapshot.
+///
+/// Either flag enables the [`fftobs`] registry for the run. All output goes
+/// to **stderr** or the named file — never stdout — so the figure's stdout
+/// stays byte-identical whether or not observability is on (the simulation
+/// itself never reads a metric back).
+#[derive(Debug, Default)]
+pub struct Obs {
+    trace_out: Option<std::path::PathBuf>,
+    metrics: bool,
+}
+
+impl Obs {
+    /// Parses `--trace-out <file>` / `--metrics` from `std::env::args` and
+    /// enables metric recording when either is requested.
+    pub fn from_env() -> Obs {
+        let mut obs = Obs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace-out" => {
+                    let file = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--trace-out requires a file argument"));
+                    obs.trace_out = Some(std::path::PathBuf::from(file));
+                }
+                "--metrics" => obs.metrics = true,
+                _ => {}
+            }
+        }
+        if std::env::var("FFT_METRICS")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            obs.metrics = true;
+        }
+        if obs.active() {
+            fftobs::set_enabled(true);
+        }
+        obs
+    }
+
+    /// True when any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics
+    }
+
+    /// Emits the requested artifacts for the harness's per-rank traces:
+    /// Chrome-trace JSON to the `--trace-out` file, span summary plus
+    /// metrics snapshot to stderr under `--metrics`.
+    pub fn emit(&self, traces: &[Trace]) {
+        if let Some(path) = &self.trace_out {
+            let json = distfft::trace::export_chrome_trace(traces);
+            match std::fs::write(path, json) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: failed to write trace to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if self.metrics {
+            eprintln!("--- phase summary (all ranks)");
+            eprint!("{}", distfft::trace::phase_summary(traces));
+            eprintln!("--- metrics");
+            eprint!("{}", fftobs::registry().snapshot().render_text());
+        }
+    }
+}
+
 /// A minimal aligned text table.
 pub struct TextTable {
     headers: Vec<String>,

@@ -72,6 +72,37 @@ impl ExecCtx {
     pub fn pooled_buffers(&self) -> usize {
         self.scratch.arrays.len()
     }
+
+    /// Cumulative hit/miss/eviction statistics of this context's scratch
+    /// pool. Per-context (deterministic even when tests run in parallel);
+    /// the same events also feed the global `distfft.exec_pool.*` counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.scratch.stats
+    }
+}
+
+/// Scratch-pool statistics: how the recycled-buffer free list behaved.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take` calls served from a recycled buffer.
+    pub hits: u64,
+    /// `take` calls that had to allocate (empty pool).
+    pub misses: u64,
+    /// `give` calls that dropped a non-empty buffer because the pool was
+    /// full (`POOL_CAP`) — silent deallocation churn on the hot path.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit rate over all takes (0.0 when nothing was taken).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Pooled per-rank execution scratch: recycled local arrays / send buffers
@@ -85,6 +116,8 @@ struct ExecScratch {
     /// Scratch for the batched 1-D kernels (grown to the largest
     /// `Plan1d::scratch_elems` seen).
     kernel: Vec<C64>,
+    /// Hit/miss/eviction accounting (see [`PoolStats`]).
+    stats: PoolStats,
 }
 
 /// Free-list bound: batch items + send/recv buffers per reshape stay well
@@ -101,14 +134,34 @@ impl ExecScratch {
     }
 
     fn take_empty(&mut self) -> Vec<C64> {
-        let mut buf = self.arrays.pop().unwrap_or_default();
-        buf.clear();
-        buf
+        match self.arrays.pop() {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                fftobs::count("distfft.exec_pool.hit", 1);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                fftobs::count("distfft.exec_pool.miss", 1);
+                Vec::new()
+            }
+        }
     }
 
     fn give(&mut self, buf: Vec<C64>) {
-        if buf.capacity() > 0 && self.arrays.len() < POOL_CAP {
+        if buf.capacity() == 0 {
+            // Nothing worth recycling; not an eviction.
+            return;
+        }
+        if self.arrays.len() < POOL_CAP {
             self.arrays.push(buf);
+        } else {
+            // The free list is full: this buffer's capacity is silently
+            // deallocated. Recorded so a figure harness can prove the
+            // steady state never churns (tests/pooling.rs asserts 0).
+            self.stats.evictions += 1;
+            fftobs::count("distfft.exec_pool.eviction", 1);
         }
     }
 }

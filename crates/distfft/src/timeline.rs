@@ -45,17 +45,22 @@ pub fn render(traces: &[Trace], width: usize) -> String {
     assert!(width > 0, "timeline width must be positive");
     let mut t_min = SimTime(u64::MAX);
     let mut t_max = SimTime::ZERO;
+    let mut have_events = false;
     for t in traces {
         for e in &t.events {
+            have_events = true;
             let (s, f) = span(e);
             t_min = t_min.min(s);
             t_max = t_max.max(f);
         }
     }
-    if t_max <= t_min {
+    if !have_events {
         return String::from("(empty trace)\n");
     }
-    let total = (t_max - t_min).as_ns() as f64;
+    // A degenerate trace (every event instantaneous at the same t) spans
+    // zero time; clamp the slice width so the axis math never divides by
+    // zero and the rows still render.
+    let total = ((t_max - t_min).as_ns() as f64).max(1.0);
     let slice_ns = total / width as f64;
 
     let mut out = String::new();
@@ -63,11 +68,17 @@ pub fn render(traces: &[Trace], width: usize) -> String {
         let mut cover = vec![(0.0f64, '.'); width];
         for e in &trace.events {
             let (s, f) = span(e);
-            if f <= s {
-                continue;
-            }
             let g = glyph(e);
             let s_rel = (s - t_min).as_ns() as f64;
+            if f <= s {
+                // Zero-duration event: mark its instant with one glyph
+                // cell, without outranking any event of real extent.
+                let c = ((s_rel / slice_ns).floor() as usize).min(width - 1);
+                if cover[c].1 == '.' {
+                    cover[c].1 = g;
+                }
+                continue;
+            }
             let f_rel = (f - t_min).as_ns() as f64;
             let first = (s_rel / slice_ns).floor() as usize;
             let last = ((f_rel / slice_ns).ceil() as usize).min(width);
@@ -157,6 +168,51 @@ mod tests {
     #[test]
     fn empty_trace_is_graceful() {
         assert_eq!(render(&[Trace::new()], 20), "(empty trace)\n");
+        assert_eq!(render(&[], 20), "(empty trace)\n");
+    }
+
+    #[test]
+    fn single_zero_duration_event_renders_a_row() {
+        // One instantaneous event used to collapse the axis to zero span
+        // and be reported as "(empty trace)"; it must render as a row with
+        // its glyph marked.
+        let mut t = Trace::new();
+        t.push(fft(5, 0));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        assert!(row.starts_with("rank   0 |"), "row was: {row}");
+        assert_eq!(row.matches('F').count(), 1, "row was: {row}");
+    }
+
+    #[test]
+    fn all_events_at_t0_render_without_divide_by_zero() {
+        let mut a = Trace::new();
+        a.push(fft(0, 0));
+        a.push(mpi(0, 0));
+        let mut b = Trace::new();
+        b.push(mpi(0, 0));
+        let s = render(&[a, b], 16);
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[0].starts_with("rank   0 |"));
+        assert!(rows[1].starts_with("rank   1 |"));
+        // First zero-duration event at the instant wins the cell.
+        assert!(rows[0].contains('F'), "{}", rows[0]);
+        assert!(rows[1].contains('#'), "{}", rows[1]);
+        // No NaN/inf artifacts leak into the axis label.
+        assert!(!s.contains("NaN") && !s.contains("inf"), "{s}");
+    }
+
+    #[test]
+    fn zero_duration_marks_do_not_outrank_real_events() {
+        let mut t = Trace::new();
+        t.push(mpi(0, 1000));
+        t.push(fft(500, 0));
+        let s = render(&[t], 4);
+        let row = s.lines().next().unwrap();
+        assert!(
+            row.contains("####"),
+            "real event must keep its cells: {row}"
+        );
     }
 
     #[test]

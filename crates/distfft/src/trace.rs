@@ -80,7 +80,36 @@ impl Trace {
     }
 
     /// Records an event.
+    ///
+    /// Both executors (functional [`crate::exec`] and analytic
+    /// [`crate::dryrun`]) funnel every event through here, so this is the
+    /// single instrumentation point for phase counters and span-duration
+    /// histograms. Metrics never feed back into simulated time.
     pub fn push(&mut self, e: TraceEvent) {
+        if fftobs::enabled() {
+            match &e {
+                TraceEvent::MpiCall { dur, bytes, .. } => {
+                    fftobs::count("distfft.events.mpi", 1);
+                    fftobs::count("distfft.bytes.mpi_sent", *bytes as u64);
+                    fftobs::observe("distfft.span.mpi_ns", dur.as_ns());
+                }
+                TraceEvent::Kernel { kind, dur, .. } => {
+                    let (cnt, hist) = match kind {
+                        KernelKind::Fft1d { .. } => ("distfft.events.fft", "distfft.span.fft_ns"),
+                        KernelKind::Pack => ("distfft.events.pack", "distfft.span.pack_ns"),
+                        KernelKind::Unpack => ("distfft.events.unpack", "distfft.span.unpack_ns"),
+                        KernelKind::SelfCopy => {
+                            ("distfft.events.self_copy", "distfft.span.self_copy_ns")
+                        }
+                        KernelKind::Pointwise => {
+                            ("distfft.events.pointwise", "distfft.span.pointwise_ns")
+                        }
+                    };
+                    fftobs::count(cnt, 1);
+                    fftobs::observe(hist, dur.as_ns());
+                }
+            }
+        }
         self.events.push(e);
     }
 
@@ -126,6 +155,38 @@ impl Trace {
             .collect()
     }
 
+    /// Lowers this rank's events into export spans: local kernels on the
+    /// GPU lane (`tid` [`LANE_GPU`]), MPI calls on the network lane
+    /// (`tid` [`LANE_NET`]). `rank` becomes the Chrome-trace `pid`.
+    pub fn to_spans(&self, rank: u32) -> Vec<fftobs::Span> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::MpiCall {
+                    routine,
+                    start,
+                    dur,
+                    ..
+                } => fftobs::Span {
+                    name: routine,
+                    cat: "comm",
+                    pid: rank,
+                    tid: LANE_NET,
+                    start_ns: start.as_ns(),
+                    dur_ns: dur.as_ns(),
+                },
+                TraceEvent::Kernel { kind, start, dur } => fftobs::Span {
+                    name: kind.label(),
+                    cat: "kernel",
+                    pid: rank,
+                    tid: LANE_GPU,
+                    start_ns: start.as_ns(),
+                    dur_ns: dur.as_ns(),
+                },
+            })
+            .collect()
+    }
+
     /// Merges per-rank traces into the per-call *maximum* duration across
     /// ranks — what a wall-clock measurement of a collective reports.
     pub fn max_mpi_calls(traces: &[Trace]) -> Vec<SimTime> {
@@ -143,6 +204,37 @@ impl Trace {
             })
             .collect()
     }
+}
+
+/// Chrome-trace thread id of the GPU (local kernel) lane.
+pub const LANE_GPU: u32 = 0;
+/// Chrome-trace thread id of the network (MPI) lane.
+pub const LANE_NET: u32 = 1;
+
+/// The named `tid` lanes of an exported timeline.
+pub const LANES: [(u32, &str); 2] = [(LANE_GPU, "gpu"), (LANE_NET, "net")];
+
+/// Renders per-rank traces as a Chrome-trace JSON document (one `pid` per
+/// rank, `gpu`/`net` lanes per rank). Load in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn export_chrome_trace(traces: &[Trace]) -> String {
+    let spans: Vec<fftobs::Span> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(r, t)| t.to_spans(r as u32))
+        .collect();
+    fftobs::chrome_trace_json(&spans, &LANES)
+}
+
+/// Renders the per-phase summary table (calls, total/mean/max duration,
+/// share of summed span time) over all ranks.
+pub fn phase_summary(traces: &[Trace]) -> String {
+    let spans: Vec<fftobs::Span> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(r, t)| t.to_spans(r as u32))
+        .collect();
+    fftobs::span_summary(&spans)
 }
 
 #[cfg(test)]
@@ -188,6 +280,56 @@ mod tests {
         assert_eq!(b["FFT"].as_ns(), 50);
         assert_eq!(t.fft_call_durations(), vec![SimTime::from_ns(50)]);
         assert_eq!(t.mpi_call_durations().len(), 2);
+    }
+
+    #[test]
+    fn spans_use_rank_as_pid_and_resource_as_tid() {
+        let mut t = Trace::new();
+        t.push(kern(KernelKind::Pack, 10));
+        t.push(call(100));
+        let spans = t.to_spans(3);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "pack");
+        assert_eq!(spans[0].pid, 3);
+        assert_eq!(spans[0].tid, LANE_GPU);
+        assert_eq!(spans[1].name, "MPI_Alltoallv");
+        assert_eq!(spans[1].tid, LANE_NET);
+        assert_eq!(spans[1].dur_ns, 100);
+    }
+
+    #[test]
+    fn chrome_export_roundtrips_through_the_json_reader() {
+        let mut a = Trace::new();
+        a.push(kern(KernelKind::Pack, 10));
+        a.push(call(100));
+        let mut b = Trace::new();
+        b.push(kern(
+            KernelKind::Fft1d {
+                axis: 0,
+                contiguous: true,
+            },
+            50,
+        ));
+        let text = export_chrome_trace(&[a, b]);
+        let doc = fftobs::json::parse(&text).expect("export must be valid JSON");
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 3);
+        let pids: std::collections::BTreeSet<i64> = xs
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_f64()))
+            .map(|p| p as i64)
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let summary = phase_summary(&{
+            let mut t = Trace::new();
+            t.push(kern(KernelKind::Unpack, 30));
+            vec![t]
+        });
+        assert!(summary.contains("unpack"), "{summary}");
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub fn forward_table(n: usize) -> Arc<[C64]> {
     let mut map = tables.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(t) = map.get(&n) {
         HITS.fetch_add(1, Ordering::Relaxed);
+        fftobs::count("fftkern.twiddle.hit", 1);
         return Arc::clone(t);
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    fftobs::count("fftkern.twiddle.miss", 1);
     let table: Arc<[C64]> = (0..n)
         .map(|j| C64::expi(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
         .collect();

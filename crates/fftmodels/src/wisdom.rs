@@ -41,14 +41,35 @@ pub struct WisdomEntry {
     pub time: SimTime,
 }
 
+/// The full configuration a wisdom entry stands for: the plan options
+/// *plus* the GPU-awareness setting, which lives outside [`FftOptions`]
+/// (it is a world/MPI property, not a plan property).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedOptions {
+    /// Plan options (decomposition, backend, brick IO).
+    pub fft: FftOptions,
+    /// Whether MPI should run GPU-aware.
+    pub gpu_aware: bool,
+}
+
 impl WisdomEntry {
-    /// Reconstructs the plan options this entry stands for.
-    pub fn options(&self) -> FftOptions {
-        FftOptions {
-            decomp: self.decomp,
-            backend: self.backend,
-            io: IoLayout::Brick,
-            ..FftOptions::default()
+    /// Reconstructs the complete tuned configuration this entry stands for.
+    ///
+    /// Returns both halves of the choice: the [`FftOptions`] to build the
+    /// plan with and the `gpu_aware` flag to run it under. An earlier
+    /// version returned only the `FftOptions`, silently discarding the
+    /// stored GPU-awareness winner — replaying such wisdom reproduced the
+    /// wrong configuration whenever the tuner had picked `gpu_aware =
+    /// false` (e.g. SpectrumMPI + Alltoallw cases, §IV-C).
+    pub fn options(&self) -> TunedOptions {
+        TunedOptions {
+            fft: FftOptions {
+                decomp: self.decomp,
+                backend: self.backend,
+                io: IoLayout::Brick,
+                ..FftOptions::default()
+            },
+            gpu_aware: self.gpu_aware,
         }
     }
 }
@@ -204,47 +225,92 @@ impl Wisdom {
         out
     }
 
+    /// Parses one data line (already comment/blank-filtered and trimmed).
+    fn parse_line(line: &str) -> Result<(WisdomKey, WisdomEntry), WisdomLineError> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 9 {
+            return Err(WisdomLineError::FieldCount { got: f.len() });
+        }
+        let num = |field: &'static str, token: &str| -> Result<u64, WisdomLineError> {
+            token
+                .parse::<u64>()
+                .map_err(|_| WisdomLineError::BadNumber {
+                    field,
+                    token: token.to_string(),
+                })
+        };
+        let n0 = num("n0", f[1])? as usize;
+        let n1 = num("n1", f[2])? as usize;
+        let n2 = num("n2", f[3])? as usize;
+        let ranks = num("ranks", f[4])? as usize;
+        let decomp =
+            decomp_from(f[5]).ok_or_else(|| WisdomLineError::UnknownDecomp(f[5].to_string()))?;
+        let backend =
+            backend_from(f[6]).ok_or_else(|| WisdomLineError::UnknownBackend(f[6].to_string()))?;
+        let gpu_aware = match f[7] {
+            "0" => false,
+            "1" => true,
+            other => return Err(WisdomLineError::BadFlag(other.to_string())),
+        };
+        let ns = num("time_ns", f[8])?;
+        Ok((
+            WisdomKey {
+                machine: f[0].to_string(),
+                n: [n0, n1, n2],
+                ranks,
+            },
+            WisdomEntry {
+                decomp,
+                backend,
+                gpu_aware,
+                time: SimTime::from_ns(ns),
+            },
+        ))
+    }
+
     /// Parses the line format, ignoring comments and malformed lines
     /// (forward-compatible, like FFTW wisdom).
     pub fn from_text(text: &str) -> Wisdom {
+        Self::from_text_counting(text).0
+    }
+
+    /// Lenient parse that also reports how many malformed lines were
+    /// skipped, so callers can warn instead of silently dropping entries.
+    pub fn from_text_counting(text: &str) -> (Wisdom, usize) {
         let mut w = Wisdom::new();
+        let mut skipped = 0;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let f: Vec<&str> = line.split_whitespace().collect();
-            if f.len() != 9 {
+            match Self::parse_line(line) {
+                Ok((k, e)) => {
+                    w.entries.insert(k, e);
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        (w, skipped)
+    }
+
+    /// Strict parse: the first malformed or truncated line aborts with a
+    /// typed error naming the line number and what was wrong with it.
+    pub fn from_text_strict(text: &str) -> Result<Wisdom, WisdomParseError> {
+        let mut w = Wisdom::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (Ok(n0), Ok(n1), Ok(n2), Ok(ranks), Ok(aware), Ok(ns)) = (
-                f[1].parse::<usize>(),
-                f[2].parse::<usize>(),
-                f[3].parse::<usize>(),
-                f[4].parse::<usize>(),
-                f[7].parse::<u8>(),
-                f[8].parse::<u64>(),
-            ) else {
-                continue;
-            };
-            let (Some(decomp), Some(backend)) = (decomp_from(f[5]), backend_from(f[6])) else {
-                continue;
-            };
-            w.entries.insert(
-                WisdomKey {
-                    machine: f[0].to_string(),
-                    n: [n0, n1, n2],
-                    ranks,
-                },
-                WisdomEntry {
-                    decomp,
-                    backend,
-                    gpu_aware: aware != 0,
-                    time: SimTime::from_ns(ns),
-                },
-            );
+            match Self::parse_line(line) {
+                Ok((k, e)) => {
+                    w.entries.insert(k, e);
+                }
+                Err(kind) => return Err(WisdomParseError { line: i + 1, kind }),
+            }
         }
-        w
+        Ok(w)
     }
 
     /// Writes the cache to a file.
@@ -252,11 +318,94 @@ impl Wisdom {
         std::fs::write(path, self.to_text())
     }
 
-    /// Loads a cache from a file.
+    /// Loads a cache from a file (lenient: malformed lines are skipped).
     pub fn load(path: &Path) -> std::io::Result<Wisdom> {
         Ok(Wisdom::from_text(&std::fs::read_to_string(path)?))
     }
+
+    /// Loads a cache from a file, rejecting malformed content with a typed
+    /// error instead of silently dropping lines.
+    pub fn load_strict(path: &Path) -> Result<Wisdom, WisdomLoadError> {
+        let text = std::fs::read_to_string(path).map_err(WisdomLoadError::Io)?;
+        Wisdom::from_text_strict(&text).map_err(WisdomLoadError::Parse)
+    }
 }
+
+/// What was wrong with one wisdom line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WisdomLineError {
+    /// Wrong number of space-separated fields (expected 9).
+    FieldCount {
+        /// Fields actually present.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// Which field.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// Unrecognized decomposition tag.
+    UnknownDecomp(String),
+    /// Unrecognized backend tag.
+    UnknownBackend(String),
+    /// The GPU-aware flag was not literally `0` or `1`.
+    BadFlag(String),
+}
+
+impl std::fmt::Display for WisdomLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WisdomLineError::FieldCount { got } => {
+                write!(f, "expected 9 fields, got {got}")
+            }
+            WisdomLineError::BadNumber { field, token } => {
+                write!(f, "field '{field}' is not a number: '{token}'")
+            }
+            WisdomLineError::UnknownDecomp(t) => write!(f, "unknown decomposition '{t}'"),
+            WisdomLineError::UnknownBackend(t) => write!(f, "unknown backend '{t}'"),
+            WisdomLineError::BadFlag(t) => write!(f, "gpu-aware flag must be 0 or 1, got '{t}'"),
+        }
+    }
+}
+
+/// A strict-parse failure: 1-based line number plus the line's defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WisdomParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What was wrong.
+    pub kind: WisdomLineError,
+}
+
+impl std::fmt::Display for WisdomParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wisdom line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for WisdomParseError {}
+
+/// A strict-load failure: I/O or parse.
+#[derive(Debug)]
+pub enum WisdomLoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file content was malformed.
+    Parse(WisdomParseError),
+}
+
+impl std::fmt::Display for WisdomLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WisdomLoadError::Io(e) => write!(f, "wisdom load: {e}"),
+            WisdomLoadError::Parse(e) => write!(f, "wisdom load: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WisdomLoadError {}
 
 #[cfg(test)]
 mod tests {
@@ -348,7 +497,142 @@ mod tests {
     #[test]
     fn entry_reconstructs_options() {
         let o = entry().options();
-        assert_eq!(o.decomp, Decomp::Slabs);
-        assert_eq!(o.backend, CommBackend::AllToAllV);
+        assert_eq!(o.fft.decomp, Decomp::Slabs);
+        assert_eq!(o.fft.backend, CommBackend::AllToAllV);
+        assert!(o.gpu_aware);
+    }
+
+    #[test]
+    fn options_preserve_the_gpu_aware_winner() {
+        // Both polarities must survive the WisdomEntry -> options() hop;
+        // the old options() signature could not represent the flag at all.
+        for aware in [true, false] {
+            let e = WisdomEntry {
+                gpu_aware: aware,
+                ..entry()
+            };
+            assert_eq!(e.options().gpu_aware, aware, "flag dropped for {aware}");
+        }
+    }
+
+    #[test]
+    fn gpu_aware_survives_tune_insert_save_load_rebuild() {
+        // End-to-end round trip: tune -> insert (via tune_cached) -> text ->
+        // parse -> lookup -> options(). The reconstructed configuration must
+        // price identically to the stored winner, and flipping the restored
+        // flag must change the prediction — proving the flag is live, not
+        // defaulted.
+        let summit = MachineSpec::summit();
+        let n = [16, 16, 16];
+        let ranks = 6;
+        let mut w = Wisdom::new();
+        let tuned = w.tune_cached(&summit, n, ranks);
+
+        let back = Wisdom::from_text(&w.to_text());
+        let restored = back.lookup(&summit, n, ranks).expect("entry survives text");
+        assert_eq!(restored.gpu_aware, tuned.gpu_aware, "flag lost in text");
+
+        let o = restored.options();
+        assert_eq!(o.gpu_aware, tuned.gpu_aware, "flag lost in options()");
+        let replay = crate::tuner::evaluate(&summit, n, ranks, o.fft.clone(), o.gpu_aware);
+        assert_eq!(
+            replay, tuned.time,
+            "replaying restored wisdom must reproduce the tuned time"
+        );
+        let flipped = crate::tuner::evaluate(&summit, n, ranks, o.fft, !o.gpu_aware);
+        assert_ne!(
+            flipped, tuned.time,
+            "the gpu_aware flag must actually change the prediction"
+        );
+    }
+
+    #[test]
+    fn strict_parse_reports_typed_errors_with_line_numbers() {
+        let good = "Summit 512 512 512 192 slabs a2av 1 123000";
+        assert_eq!(Wisdom::from_text_strict(good).unwrap().len(), 1);
+
+        let cases: &[(&str, WisdomLineError)] = &[
+            (
+                "Summit 512 512 512 192 slabs a2av 1", // truncated
+                WisdomLineError::FieldCount { got: 8 },
+            ),
+            (
+                "Summit 512 512 512 192 slabs a2av 1 123000 extra",
+                WisdomLineError::FieldCount { got: 10 },
+            ),
+            (
+                "Summit x 512 512 192 slabs a2av 1 123000",
+                WisdomLineError::BadNumber {
+                    field: "n0",
+                    token: "x".to_string(),
+                },
+            ),
+            (
+                "Summit 512 512 512 192 cubes a2av 1 123000",
+                WisdomLineError::UnknownDecomp("cubes".to_string()),
+            ),
+            (
+                "Summit 512 512 512 192 slabs nccl 1 123000",
+                WisdomLineError::UnknownBackend("nccl".to_string()),
+            ),
+            (
+                "Summit 512 512 512 192 slabs a2av yes 123000",
+                WisdomLineError::BadFlag("yes".to_string()),
+            ),
+            (
+                "Summit 512 512 512 192 slabs a2av 1 -5",
+                WisdomLineError::BadNumber {
+                    field: "time_ns",
+                    token: "-5".to_string(),
+                },
+            ),
+        ];
+        for (bad, want) in cases {
+            let text = format!("# header\n{good}\n{bad}\n");
+            let err = Wisdom::from_text_strict(&text).expect_err(bad);
+            assert_eq!(err.line, 3, "wrong line for {bad:?}");
+            assert_eq!(&err.kind, want, "wrong kind for {bad:?}");
+            // The lenient counting parse keeps the good line and reports
+            // exactly one skip — never panics, never corrupts.
+            let (w, skipped) = Wisdom::from_text_counting(&text);
+            assert_eq!(w.len(), 1, "good entry lost for {bad:?}");
+            assert_eq!(skipped, 1, "wrong skip count for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn counting_parse_reports_every_skip() {
+        let (w, skipped) = Wisdom::from_text_counting(
+            "# c\nSummit 8 8 8 2 slabs a2a 0 10\njunk\nmore junk here\n\n",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(skipped, 2);
+        assert!(
+            !w.lookup(&MachineSpec::summit(), [8, 8, 8], 2)
+                .unwrap()
+                .gpu_aware
+        );
+    }
+
+    #[test]
+    fn load_strict_distinguishes_io_and_parse_errors() {
+        let dir = std::env::temp_dir().join("fft_wisdom_strict_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let missing = dir.join("does_not_exist.txt");
+        let _ = std::fs::remove_file(&missing);
+        assert!(matches!(
+            Wisdom::load_strict(&missing),
+            Err(WisdomLoadError::Io(_))
+        ));
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "garbage line\n").unwrap();
+        match Wisdom::load_strict(&bad) {
+            Err(WisdomLoadError::Parse(e)) => {
+                assert_eq!(e.line, 1);
+                assert_eq!(e.kind, WisdomLineError::FieldCount { got: 2 });
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&bad);
     }
 }

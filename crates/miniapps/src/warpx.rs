@@ -42,6 +42,7 @@ pub fn psatd_step(
     field: &[C64],
     dt: f64,
 ) -> (Vec<C64>, SimTime) {
+    fftobs::count("miniapps.runs.psatd_step", 1);
     let total = n[0] * n[1] * n[2];
     assert_eq!(field.len(), total);
     let plan = FftPlan::build(n, nranks, opts);

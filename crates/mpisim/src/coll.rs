@@ -50,6 +50,14 @@ fn shifted(entries: &[SimTime], ns: u64) -> Vec<SimTime> {
     entries.iter().map(|t| *t + SimTime::from_ns(ns)).collect()
 }
 
+/// Total payload bytes of a (src, dst) byte matrix, for metrics.
+fn matrix_bytes(matrix: &[Vec<usize>]) -> u64 {
+    matrix
+        .iter()
+        .map(|row| row.iter().map(|b| *b as u64).sum::<u64>())
+        .sum()
+}
+
 /// Exit times of `MPI_Alltoall` on equal `bytes_per_pair` blocks, with the
 /// tuned algorithm selected by the distribution profile (§II: "MPICH has
 /// four different implementations of MPI_Alltoall, selected according to
@@ -62,6 +70,11 @@ pub fn alltoall_exit_times(
     entries: &[SimTime],
     bytes_per_pair: usize,
 ) -> Vec<SimTime> {
+    fftobs::count("mpisim.calls.alltoall", 1);
+    fftobs::count(
+        "mpisim.bytes.alltoall",
+        (bytes_per_pair * group.len() * group.len()) as u64,
+    );
     let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
     match distro.alltoall_algo(bytes_per_pair) {
         AlltoallAlgo::Pairwise => {
@@ -84,6 +97,8 @@ pub fn alltoallv_exit_times(
     entries: &[SimTime],
     matrix: &[Vec<usize>],
 ) -> Vec<SimTime> {
+    fftobs::count("mpisim.calls.alltoallv", 1);
+    fftobs::count("mpisim.bytes.alltoallv", matrix_bytes(matrix));
     let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
     pattern::scatter_times(
         np,
@@ -109,6 +124,8 @@ pub fn alltoallw_exit_times(
     entries: &[SimTime],
     matrix: &[Vec<usize>],
 ) -> Vec<SimTime> {
+    fftobs::count("mpisim.calls.alltoallw", 1);
+    fftobs::count("mpisim.bytes.alltoallw", matrix_bytes(matrix));
     let mut eff_env = *env;
     eff_env.gpu_aware = env.gpu_aware && distro.alltoallw_gpu_aware();
     let (setup_ns, pack_gbs) = distro.alltoallw_dtype_cost();
@@ -137,6 +154,8 @@ pub fn p2p_exchange_exit_times(
     matrix: &[Vec<usize>],
     flavor: P2pFlavor,
 ) -> Vec<SimTime> {
+    fftobs::count("mpisim.calls.p2p", 1);
+    fftobs::count("mpisim.bytes.p2p", matrix_bytes(matrix));
     let peers: Vec<usize> = matrix
         .iter()
         .enumerate()
@@ -298,6 +317,7 @@ pub fn p2p_exchange<T: Copy + Send + 'static>(
 
 /// `MPI_Barrier` (dissemination schedule).
 pub fn barrier(rank: &mut Rank, comm: &Comm, env: PhaseEnv) {
+    fftobs::count("mpisim.calls.barrier", 1);
     let entries_raw = comm.control_allgather(rank, rank.now().as_ns());
     let entries: Vec<SimTime> = entries_raw.into_iter().map(SimTime::from_ns).collect();
     let np = net_params(rank);
@@ -318,6 +338,8 @@ pub fn bcast<T: Clone + Send + 'static>(
         (comm.me() == root) == value.is_some(),
         "exactly the root must supply the value"
     );
+    fftobs::count("mpisim.calls.bcast", 1);
+    fftobs::count("mpisim.bytes.bcast", bytes as u64);
     let entries_raw = comm.control_allgather(rank, rank.now().as_ns());
     let entries: Vec<SimTime> = entries_raw.into_iter().map(SimTime::from_ns).collect();
 
@@ -355,6 +377,8 @@ pub fn allgather<T: Clone + Send + 'static>(
     value: T,
     bytes: usize,
 ) -> Vec<T> {
+    fftobs::count("mpisim.calls.allgather", 1);
+    fftobs::count("mpisim.bytes.allgather", bytes as u64);
     let entries_raw = comm.control_allgather(rank, rank.now().as_ns());
     let entries: Vec<SimTime> = entries_raw.into_iter().map(SimTime::from_ns).collect();
     let out = comm.control_allgather(rank, value);
@@ -367,6 +391,8 @@ pub fn allgather<T: Clone + Send + 'static>(
 
 /// `MPI_Allreduce(SUM)` over one `f64` per member.
 pub fn allreduce_sum(rank: &mut Rank, comm: &Comm, env: PhaseEnv, x: f64) -> f64 {
+    fftobs::count("mpisim.calls.allreduce", 1);
+    fftobs::count("mpisim.bytes.allreduce", 8);
     let entries_raw = comm.control_allgather(rank, rank.now().as_ns());
     let entries: Vec<SimTime> = entries_raw.into_iter().map(SimTime::from_ns).collect();
     let values = comm.control_allgather(rank, x);

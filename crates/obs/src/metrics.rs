@@ -1,0 +1,351 @@
+//! Thread-safe metrics registry: named counters and log₂ histograms.
+//!
+//! All storage is atomic; registration takes a short mutex on a `BTreeMap`
+//! (names are interned `&'static str`s, so hot paths that hold on to the
+//! returned [`Counter`]/[`Histogram`] handle pay only an atomic add).
+//! Snapshots are deterministic: entries come out sorted by name.
+//!
+//! Metrics observe — they never steer. Nothing in the simulation reads a
+//! counter back into a timing decision, which is what keeps instrumented
+//! runs byte-identical to uninstrumented ones.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds value 0, bucket `i` holds values
+/// in `[2^(i-1), 2^i)`, the last bucket saturates.
+const BUCKETS: usize = 64;
+
+/// A histogram over `u64` values with power-of-two buckets — enough
+/// resolution for span durations and byte counts without configuration.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnap {
+    /// Metric name.
+    pub name: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnap>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnap>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Histogram entry by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as an aligned plain-text block (one metric per
+    /// line), suitable for stderr diagnostics.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        for c in &self.counters {
+            let _ = writeln!(out, "{:<width$}  {}", c.name, c.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{:<width$}  count {}  sum {}  mean {:.1}  max {}",
+                h.name, h.count, h.sum, h.mean, h.max
+            );
+        }
+        out
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// A process-wide instance is available via [`registry`]; isolated
+/// instances ([`Registry::new`]) are useful in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the named counter.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// Returns (registering on first use) the named histogram.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// A sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| CounterSnap {
+                name,
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| HistogramSnap {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                mean: h.mean(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric (registrations are kept, so held
+    /// handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").inc();
+        r.counter("b.two").add(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.one"), Some(1));
+        assert_eq!(snap.counter("b.two"), Some(5));
+        assert_eq!(snap.counters[0].name, "a.one");
+        assert_eq!(snap.counters[1].name, "b.two");
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 2, 1024, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1034);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 206.8).abs() < 1e-9);
+        let snap = r.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.max, 1024);
+    }
+
+    #[test]
+    fn histogram_bucket_saturation_does_not_panic() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.add(9);
+        let h = r.histogram("y");
+        h.record(3);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        c.inc();
+        assert_eq!(r.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn shared_handles_point_at_the_same_counter() {
+        let r = Registry::new();
+        let a = r.counter("same");
+        let b = r.counter("same");
+        a.add(1);
+        b.add(1);
+        assert_eq!(r.snapshot().counter("same"), Some(2));
+    }
+
+    #[test]
+    fn render_text_is_aligned_and_complete() {
+        let r = Registry::new();
+        r.counter("metric.long_name").add(7);
+        r.histogram("h").record(4);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("metric.long_name  7"));
+        assert!(text.contains("count 1"));
+        assert_eq!(
+            Registry::new().snapshot().render_text(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

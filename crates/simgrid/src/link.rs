@@ -88,7 +88,17 @@ pub fn message_time_ns(
     dst: usize,
     ctx: &TransferCtx,
 ) -> u64 {
-    match path(spec, src, dst) {
+    let link = path(spec, src, dst);
+    if fftobs::enabled() {
+        let (msgs, byte_cnt) = match link {
+            LinkPath::SelfCopy => ("simgrid.msgs.self_copy", "simgrid.bytes.self_copy"),
+            LinkPath::IntraNode => ("simgrid.msgs.intra_node", "simgrid.bytes.intra_node"),
+            LinkPath::InterNode => ("simgrid.msgs.inter_node", "simgrid.bytes.inter_node"),
+        };
+        fftobs::count(msgs, 1);
+        fftobs::count(byte_cnt, bytes as u64);
+    }
+    match link {
         LinkPath::SelfCopy => {
             // Device-local copy: read + write at HBM bandwidth.
             let gbs = spec.gpu.mem_bw_gbs / 2.0;

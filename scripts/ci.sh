@@ -14,4 +14,20 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== trace export smoke test =="
+# The observability layer must be invisible on stdout: a figure run with
+# --trace-out/--metrics has to be byte-identical to a plain run, and the
+# exported Chrome-trace JSON must validate (per-rank pids, FFT phase names).
+TDIR=$(mktemp -d)
+trap 'rm -rf "$TDIR"' EXIT
+cargo build --offline -q -p fft-bench --bin fig2 --bin trace_check
+./target/debug/fig2 >"$TDIR/plain.out"
+./target/debug/fig2 --trace-out "$TDIR/fig2.json" --metrics \
+    >"$TDIR/traced.out" 2>"$TDIR/traced.err"
+cmp "$TDIR/plain.out" "$TDIR/traced.out" || {
+    echo "FAIL: --trace-out/--metrics changed figure stdout" >&2
+    exit 1
+}
+./target/debug/trace_check "$TDIR/fig2.json"
+
 echo "CI green."

@@ -6,7 +6,7 @@
 //! for every decomposition × communication backend.
 
 use distfft::boxes::Box3;
-use distfft::exec::{bind, execute, ExecCtx};
+use distfft::exec::{bind, execute, ExecCtx, PoolStats};
 use distfft::plan::{CommBackend, FftOptions, FftPlan, IoLayout};
 use distfft::Decomp;
 use fftkern::{Direction, C64};
@@ -14,13 +14,14 @@ use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
 /// Forward+inverse round trip, run `reps` times through the same `ExecCtx`.
-/// Returns per-run output bits plus the number of buffers left in the pool.
+/// Returns per-run output bits, the number of buffers left in the pool, and
+/// the pool's hit/miss/eviction statistics.
 fn repeated_roundtrips(
     opts: FftOptions,
     n: [usize; 3],
     ranks: usize,
     reps: usize,
-) -> Vec<(Vec<Vec<u64>>, usize)> {
+) -> Vec<(Vec<Vec<u64>>, usize, PoolStats)> {
     let plan = FftPlan::build(n, ranks, opts);
     let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
     let whole = Box3::whole(n);
@@ -61,7 +62,7 @@ fn repeated_roundtrips(
                 .collect();
             runs.push(bits);
         }
-        (runs, ctx.pooled_buffers())
+        (runs, ctx.pooled_buffers(), ctx.pool_stats())
     })
 }
 
@@ -81,7 +82,7 @@ fn warm_pool_bit_identical_to_cold_for_every_decomp_and_backend() {
                 backend,
                 ..FftOptions::default()
             };
-            for (r, (runs, _)) in repeated_roundtrips(opts, n, ranks, 3)
+            for (r, (runs, _, _)) in repeated_roundtrips(opts, n, ranks, 3)
                 .into_iter()
                 .enumerate()
             {
@@ -106,7 +107,7 @@ fn warm_pool_bit_identical_with_subarray_datatypes() {
         io: IoLayout::Brick,
         ..FftOptions::default()
     };
-    for (r, (runs, pooled)) in repeated_roundtrips(opts, [8, 12, 10], 4, 3)
+    for (r, (runs, pooled, _)) in repeated_roundtrips(opts, [8, 12, 10], 4, 3)
         .into_iter()
         .enumerate()
     {
@@ -134,4 +135,36 @@ fn plan_cache_serves_repeated_executions() {
         cache.hits() > hits_before,
         "warm re-execution should hit the cache"
     );
+}
+
+#[test]
+fn steady_state_pool_never_evicts_and_mostly_hits() {
+    // Eviction regression guard: a single-plan steady state must cycle
+    // entirely through recycled buffers. Any eviction means the executor
+    // holds more live buffers than POOL_CAP and is silently deallocating on
+    // the hot path; a sub-90% steady-state hit rate means the pool is not
+    // actually serving the traffic.
+    let opts = FftOptions::default();
+    let n = [8usize, 12, 10];
+    let ranks = 4;
+
+    // Execution is deterministic, so a 1-rep run reproduces exactly the
+    // first (cold) rep of the longer run; the difference is the steady state.
+    let cold = repeated_roundtrips(opts.clone(), n, ranks, 1);
+    let warm = repeated_roundtrips(opts, n, ranks, 6);
+    for (r, ((_, _, cold_stats), (_, _, warm_stats))) in cold.into_iter().zip(warm).enumerate() {
+        assert_eq!(
+            warm_stats.evictions, 0,
+            "rank {r}: steady-state execution evicted pooled buffers"
+        );
+        let hits = warm_stats.hits - cold_stats.hits;
+        let misses = warm_stats.misses - cold_stats.misses;
+        let total = hits + misses;
+        assert!(total > 0, "rank {r}: steady state never touched the pool");
+        let rate = hits as f64 / total as f64;
+        assert!(
+            rate >= 0.9,
+            "rank {r}: steady-state pool hit rate {rate:.3} ({hits}/{total}) below 90%"
+        );
+    }
 }
