@@ -210,13 +210,49 @@ fn efficiency_metrics() -> (distfft::PoolStats, u64, u64) {
     (pool, plan_cache().hits(), plan_cache().misses())
 }
 
+/// Runs a command and returns its trimmed stdout, or `"unknown"`.
+fn stamp(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Span-duration percentiles (ns) over one deterministic protocol run of
+/// the headline distributed configuration, estimated from a log₂
+/// histogram — the same estimator the live metrics registry uses.
+fn span_percentiles() -> (u64, u64, u64, u64) {
+    let traces = fft_bench::protocol_traces(
+        &MachineSpec::summit(),
+        fft_bench::N64,
+        24,
+        FftOptions::default(),
+        true,
+        0.0,
+    );
+    let h = fftobs::Registry::new().histogram("span.dur_ns");
+    let mut count = 0u64;
+    for (rank, t) in traces.iter().enumerate() {
+        for s in t.to_spans(rank as u32) {
+            h.record(s.dur_ns);
+            count += 1;
+        }
+    }
+    (count, h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+}
+
 fn main() {
     let obs = fft_bench::Obs::from_env();
     let mut out_path = String::from("BENCH_engine.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--trace-out" => {
+            "--trace-out" | "--profile-out" => {
                 let _ = args.next();
             }
             "--metrics" => {}
@@ -245,7 +281,15 @@ fn main() {
     );
     json.push_str("  \"threads\": ");
     json.push_str(&fftmodels::sweep_threads().to_string());
-    json.push_str(",\n  \"benches\": [\n");
+    // Environment stamps: enough to interpret a regression report without
+    // the machine it came from.
+    json.push_str(&format!(
+        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}}},\n",
+        stamp("rustc", &["-V"]),
+        stamp("git", &["rev-parse", "--short", "HEAD"]),
+        fftmodels::sweep_threads()
+    ));
+    json.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"cold_ns\": {:.1}, \"warm_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
@@ -263,8 +307,9 @@ fn main() {
     } else {
         pc_hits as f64 / pc_total as f64
     };
+    let (span_count, p50, p90, p99) = span_percentiles();
     json.push_str(&format!(
-        "  \"metrics\": {{\n    \"plan_cache\": {{\"hits\": {pc_hits}, \"misses\": {pc_misses}, \"hit_rate\": {pc_rate:.4}}},\n    \"exec_pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}\n  }},\n",
+        "  \"metrics\": {{\n    \"plan_cache\": {{\"hits\": {pc_hits}, \"misses\": {pc_misses}, \"hit_rate\": {pc_rate:.4}}},\n    \"exec_pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n    \"span_dur_ns\": {{\"count\": {span_count}, \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}}\n  }},\n",
         pool.hits,
         pool.misses,
         pool.evictions,
@@ -290,6 +335,18 @@ fn main() {
             0.0,
         );
         obs.emit(&traces);
+    }
+    // --profile-out profiles the same configuration.
+    if obs.profiling() {
+        let profile = fftprof::profile_config(
+            "bench_snapshot_64cubed_24r",
+            &MachineSpec::summit(),
+            [64, 64, 64],
+            24,
+            FftOptions::default(),
+            true,
+        );
+        obs.emit_profile(&profile);
     }
 
     std::fs::write(&out_path, &json).expect("write snapshot");

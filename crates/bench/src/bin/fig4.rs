@@ -58,6 +58,7 @@ fn pencil_comm_time(machine: &MachineSpec, ranks: usize, backend: CommBackend, a
 }
 
 fn main() {
+    let obs = fft_bench::Obs::from_env();
     banner(
         "Fig. 4",
         "average bandwidth per process (eq. 5), 512^3 c2c, 1..128 Summit nodes",
@@ -117,4 +118,24 @@ fn main() {
          (paper: exponential decrease from network saturation).",
         hi / lo
     );
+
+    // --profile-out: the figure infers bandwidth from the pencil exchanges;
+    // the profile shows the same thing directly — the send/recv-wait split
+    // and the per-reshape queue delay behind the saturation decay. Profile
+    // the GPU-aware A2A run at the saturated end of the ladder.
+    if obs.profiling() {
+        let ranks = *ladder.last().expect("non-empty ladder");
+        let profile = fftprof::profile_config(
+            &format!("fig4_a2a_aware_{ranks}r"),
+            &m,
+            N512,
+            ranks,
+            FftOptions {
+                backend: CommBackend::AllToAllV,
+                ..FftOptions::default()
+            },
+            true,
+        );
+        obs.emit_profile(&profile);
+    }
 }

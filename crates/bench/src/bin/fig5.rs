@@ -12,9 +12,11 @@ use distfft::Decomp;
 use fft_bench::{banner, table3_ranks, timed_average, TextTable, N512};
 use fftmodels::bandwidth::ModelParams;
 use fftmodels::phase::predict_decomp;
+use fftprof::DiffReport;
 use simgrid::MachineSpec;
 
 fn main() {
+    let obs = fft_bench::Obs::from_env();
     banner(
         "Fig. 5",
         "best-setting regions, 512^3 c2c strong scaling on Summit",
@@ -31,7 +33,16 @@ fn main() {
     ]);
     // One ladder point per parallel task; within a task the candidate loop
     // stays serial so the first-wins tie-breaking matches the serial sweep.
-    let ladder = table3_ranks();
+    // FFT_FIG5_MAX_NODES trims the ladder (the CI smoke test caps it so the
+    // three profiling runs stay fast); unset = the paper's full 512 nodes.
+    let max_nodes: usize = std::env::var("FFT_FIG5_MAX_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let ladder: Vec<usize> = table3_ranks()
+        .into_iter()
+        .filter(|ranks| ranks / 6 <= max_nodes)
+        .collect();
     let rows = fftmodels::par_map(&ladder, |&ranks| {
         let mut best: Option<(f64, String)> = None;
         for decomp in [Decomp::Slabs, Decomp::Pencils] {
@@ -80,4 +91,39 @@ fn main() {
          middle, pencils+A2A from 64 nodes (384 ranks) onward; the model's\n\
          slab/pencil prediction (last column) crosses at the same point."
     );
+
+    // --profile-out: profile the figure's headline comparison — the 64-node
+    // (384-rank) point where pencils+A2A takes over from P2P — and write
+    // the winner's profile (JSON + collapsed stacks). The phase-by-phase
+    // diff goes to stderr; stdout above stays byte-identical.
+    if obs.profiling() {
+        let ranks = 384.min(*ladder.last().expect("non-empty ladder"));
+        let profile_backend = |backend: CommBackend, label: &str| {
+            fftprof::profile_config(
+                label,
+                &m,
+                N512,
+                ranks,
+                FftOptions {
+                    decomp: Decomp::Pencils,
+                    backend,
+                    ..FftOptions::default()
+                },
+                true,
+            )
+        };
+        let a2a = profile_backend(
+            CommBackend::AllToAllV,
+            &format!("pencils+alltoallv_{ranks}r"),
+        );
+        let p2p = profile_backend(CommBackend::P2p, &format!("pencils+p2p_{ranks}r"));
+        let diff = DiffReport::between(&a2a, &p2p);
+        eprint!("{}", diff.render_text());
+        let winner = if p2p.makespan_ns() < a2a.makespan_ns() {
+            p2p
+        } else {
+            a2a
+        };
+        obs.emit_profile(&winner);
+    }
 }

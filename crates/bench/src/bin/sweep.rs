@@ -12,11 +12,24 @@ use fft_bench::{banner, timed_average, TextTable};
 use simgrid::MachineSpec;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
+    let obs = fft_bench::Obs::from_env();
+    // Positional args, skipping the observability flags and their values.
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" | "--profile-out" => {
+                let _ = args.next();
+            }
+            "--metrics" => {}
+            other => positional.push(other.to_string()),
+        }
+    }
+    let n: usize = positional
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(512);
-    let machine = match std::env::args().nth(2).as_deref() {
+    let machine = match positional.get(1).map(|s| s.as_str()) {
         Some("spock") => MachineSpec::spock(),
         Some("summit") | None => MachineSpec::summit(),
         Some(other) => {
@@ -47,7 +60,7 @@ fn main() {
     // Flatten the whole configuration grid, dry-run every cell in parallel,
     // and emit rows in grid order — byte-identical to the serial sweep.
     let mut grid: Vec<(usize, usize, Decomp, CommBackend, bool)> = Vec::new();
-    for nodes in node_counts {
+    for &nodes in &node_counts {
         let ranks = nodes * machine.gpus_per_node;
         for decomp in [Decomp::Slabs, Decomp::Pencils] {
             if decomp == Decomp::Slabs && ranks > size[0].min(size[1]) {
@@ -88,4 +101,25 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    // --profile-out: tune the largest swept configuration, print the
+    // tuner's one-paragraph "why this decomposition" to stderr, and write
+    // the winner's profile (JSON + collapsed stacks).
+    if obs.profiling() {
+        let ranks = *node_counts.last().expect("non-empty ladder") * machine.gpus_per_node;
+        let choice = fftmodels::tuner::tune(&machine, size, ranks);
+        eprintln!(
+            "why this decomposition: {}",
+            fftprof::why_decomposition(&machine, size, ranks, &choice)
+        );
+        let profile = fftprof::profile_config(
+            &format!("sweep_{n}cubed_{ranks}r_tuned"),
+            &machine,
+            size,
+            ranks,
+            choice.opts.clone(),
+            choice.gpu_aware,
+        );
+        obs.emit_profile(&profile);
+    }
 }

@@ -199,20 +199,26 @@ pub fn fmt_ms(t: SimTime) -> String {
 ///   Chrome-trace JSON (load in `chrome://tracing` / <https://ui.perfetto.dev>).
 /// * `--metrics` (or env `FFT_METRICS=1`) — print the span summary and the
 ///   global metrics snapshot.
+/// * `--profile-out <file>` — write the harness's [`fftprof::Profile`]
+///   (phase attribution, critical path, contention, model residual) as JSON
+///   to `<file>` and collapsed stacks to `<file>.folded`.
 ///
-/// Either flag enables the [`fftobs`] registry for the run. All output goes
+/// Any flag enables the [`fftobs`] registry for the run. All output goes
 /// to **stderr** or the named file — never stdout — so the figure's stdout
 /// stays byte-identical whether or not observability is on (the simulation
-/// itself never reads a metric back).
+/// itself never reads a metric back, and the profiler only analyses traces
+/// after the fact).
 #[derive(Debug, Default)]
 pub struct Obs {
     trace_out: Option<std::path::PathBuf>,
+    profile_out: Option<std::path::PathBuf>,
     metrics: bool,
 }
 
 impl Obs {
-    /// Parses `--trace-out <file>` / `--metrics` from `std::env::args` and
-    /// enables metric recording when either is requested.
+    /// Parses `--trace-out <file>` / `--profile-out <file>` / `--metrics`
+    /// from `std::env::args` and enables metric recording when any is
+    /// requested.
     pub fn from_env() -> Obs {
         let mut obs = Obs::default();
         let mut args = std::env::args().skip(1);
@@ -223,6 +229,12 @@ impl Obs {
                         .next()
                         .unwrap_or_else(|| panic!("--trace-out requires a file argument"));
                     obs.trace_out = Some(std::path::PathBuf::from(file));
+                }
+                "--profile-out" => {
+                    let file = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--profile-out requires a file argument"));
+                    obs.profile_out = Some(std::path::PathBuf::from(file));
                 }
                 "--metrics" => obs.metrics = true,
                 _ => {}
@@ -242,7 +254,33 @@ impl Obs {
 
     /// True when any observability output was requested.
     pub fn active(&self) -> bool {
-        self.trace_out.is_some() || self.metrics
+        self.trace_out.is_some() || self.profile_out.is_some() || self.metrics
+    }
+
+    /// True when `--profile-out` was requested.
+    pub fn profiling(&self) -> bool {
+        self.profile_out.is_some()
+    }
+
+    /// Writes a profile to the `--profile-out` file (JSON) and its
+    /// collapsed stacks next to it (`<file>.folded`). No-op when
+    /// profiling was not requested.
+    pub fn emit_profile(&self, profile: &fftprof::Profile) {
+        let Some(path) = &self.profile_out else {
+            return;
+        };
+        let write = |p: std::path::PathBuf, body: String, what: &str| match std::fs::write(&p, body)
+        {
+            Ok(()) => eprintln!("{what} written to {}", p.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {what} to {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        };
+        write(path.clone(), profile.to_json(), "profile");
+        let mut folded = path.clone().into_os_string();
+        folded.push(".folded");
+        write(folded.into(), profile.to_collapsed(), "collapsed stacks");
     }
 
     /// Emits the requested artifacts for the harness's per-rank traces:

@@ -5,10 +5,16 @@
 //! stragglers, padding blowups) can be inspected straight from a terminal:
 //!
 //! ```text
-//! rank 0 |PPP###########UU.FFF.PPP#####UU...|
-//! rank 1 |PP############UUU.FF.PP######UUU..|
-//!         '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '.' idle
+//! rank 0 |PPP###########UU~FFF~PPP#####UU...|
+//! rank 1 |PP############UUU~FF~PP######UUU..|
+//!         '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '~' stall  '.' idle
 //! ```
+//!
+//! Two kinds of empty time are distinguished: `~` marks a **stall** — a
+//! gap *between* a rank's events, where the rank has started working but
+//! is blocked (waiting on a peer, a link, or a dependency) — while `.`
+//! marks **idle** margins before a rank's first event or after its last
+//! (the rank simply isn't participating yet / any more).
 
 use simgrid::SimTime;
 
@@ -40,7 +46,8 @@ fn span(e: &TraceEvent) -> (SimTime, SimTime) {
 ///
 /// Each row is one rank; each column is a `(t_max - t_min)/width` slice of
 /// simulated time. When several events touch a slice, the one covering the
-/// most of it wins. Idle time renders as `.`.
+/// most of it wins. Gaps between a rank's events render as `~` (stall);
+/// time outside the rank's own first/last event renders as `.` (idle).
 pub fn render(traces: &[Trace], width: usize) -> String {
     assert!(width > 0, "timeline width must be positive");
     let mut t_min = SimTime(u64::MAX);
@@ -65,7 +72,30 @@ pub fn render(traces: &[Trace], width: usize) -> String {
 
     let mut out = String::new();
     for (r, trace) in traces.iter().enumerate() {
-        let mut cover = vec![(0.0f64, '.'); width];
+        // This rank's own active extent decides stall (`~`, between its
+        // events) vs idle (`.`, before its first / after its last event).
+        let mut r_lo = SimTime(u64::MAX);
+        let mut r_hi = SimTime::ZERO;
+        for e in &trace.events {
+            let (s, f) = span(e);
+            r_lo = r_lo.min(s);
+            r_hi = r_hi.max(f);
+        }
+        let mut cover: Vec<(f64, char)> = (0..width)
+            .map(|c| {
+                let base = if trace.events.is_empty() {
+                    '.'
+                } else {
+                    let mid = t_min + SimTime(((c as f64 + 0.5) * slice_ns) as u64);
+                    if r_lo <= mid && mid < r_hi {
+                        '~'
+                    } else {
+                        '.'
+                    }
+                };
+                (0.0f64, base)
+            })
+            .collect();
         for e in &trace.events {
             let (s, f) = span(e);
             let g = glyph(e);
@@ -74,7 +104,7 @@ pub fn render(traces: &[Trace], width: usize) -> String {
                 // Zero-duration event: mark its instant with one glyph
                 // cell, without outranking any event of real extent.
                 let c = ((s_rel / slice_ns).floor() as usize).min(width - 1);
-                if cover[c].1 == '.' {
+                if matches!(cover[c].1, '.' | '~') {
                     cover[c].1 = g;
                 }
                 continue;
@@ -100,7 +130,7 @@ pub fn render(traces: &[Trace], width: usize) -> String {
         format!("{}", t_max - t_min),
         width = width.saturating_sub(1)
     ));
-    out.push_str("          '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '*' pointwise  '.' idle\n");
+    out.push_str("          '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '*' pointwise  '~' stall  '.' idle\n");
     out
 }
 
@@ -141,15 +171,38 @@ mod tests {
     }
 
     #[test]
-    fn idle_gaps_render_as_dots() {
+    fn gaps_between_events_render_as_stalls() {
         let mut t = Trace::new();
         t.push(fft(0, 100));
         t.push(mpi(900, 100));
         let s = render(&[t], 10);
         let row = s.lines().next().unwrap();
-        assert!(row.contains('.'), "expected idle dots in {row}");
+        // The 800 ns between the rank's own events is a stall, not idle.
         assert!(row.starts_with("rank   0 |F"));
         assert!(row.ends_with("#|"));
+        assert!(row.contains("~~~"), "expected stall glyphs in {row}");
+        assert!(!row.contains('.'), "no idle margins in {row}");
+    }
+
+    #[test]
+    fn known_gap_splits_into_stall_and_idle_margins() {
+        // Rank 0: busy [0,200), stalled [200,600), busy [600,800), then done
+        // — while rank 1 stretches the shared axis to 1000. With width 10
+        // (100 ns per cell) rank 0's row is exactly 2×F, 4×~, 2×#, 2×'.'.
+        let mut a = Trace::new();
+        a.push(fft(0, 200));
+        a.push(mpi(600, 200));
+        let mut b = Trace::new();
+        b.push(fft(0, 1000));
+        let s = render(&[a, b.clone()], 10);
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[0].contains("FF~~~~##.."), "{}", rows[0]);
+        assert!(rows[1].contains("FFFFFFFFFF"), "{}", rows[1]);
+        // A rank with no events at all stays fully idle, never stalled.
+        let s = render(&[Trace::new(), b], 10);
+        let rows: Vec<&str> = s.lines().collect();
+        assert!(rows[0].contains(".........."), "{}", rows[0]);
+        assert!(s.contains("'~' stall"), "legend must explain the glyph");
     }
 
     #[test]

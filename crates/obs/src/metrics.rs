@@ -97,6 +97,43 @@ impl Histogram {
             self.sum() as f64 / c as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets.
+    ///
+    /// The target rank's bucket bounds the true value to one power of two;
+    /// the estimate interpolates linearly inside the bucket by rank and is
+    /// clamped to the recorded maximum, so `quantile(1.0) == max()`. Exact
+    /// for values that land on bucket boundaries (0, 1) and within 2× in
+    /// general — enough to rank span durations, not a t-digest.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest value with cumulative share ≥ q.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                if i == 0 {
+                    return 0; // bucket 0 holds exactly the value 0
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = if i < 64 { (1u64 << i) - 1 } else { u64::MAX };
+                let hi = hi.min(self.max());
+                let pos = (target - seen) as f64 / n as f64;
+                let est = lo as f64 + pos * hi.saturating_sub(lo) as f64;
+                return (est.round() as u64).clamp(lo.min(hi), hi);
+            }
+            seen += n;
+        }
+        self.max()
+    }
 }
 
 /// One counter in a [`MetricsSnapshot`].
@@ -121,6 +158,12 @@ pub struct HistogramSnap {
     pub max: u64,
     /// Mean observation.
     pub mean: f64,
+    /// Estimated median (see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
 }
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -167,8 +210,8 @@ impl MetricsSnapshot {
         for h in &self.histograms {
             let _ = writeln!(
                 out,
-                "{:<width$}  count {}  sum {}  mean {:.1}  max {}",
-                h.name, h.count, h.sum, h.mean, h.max
+                "{:<width$}  count {}  sum {}  mean {:.1}  p50 {}  p90 {}  p99 {}  max {}",
+                h.name, h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max
             );
         }
         out
@@ -226,6 +269,9 @@ impl Registry {
                 sum: h.sum(),
                 max: h.max(),
                 mean: h.mean(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
             })
             .collect();
         MetricsSnapshot {
@@ -299,6 +345,52 @@ mod tests {
         let hs = snap.histogram("lat").unwrap();
         assert_eq!(hs.count, 5);
         assert_eq!(hs.max, 1024);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert_eq!(h.quantile(1.0), h.max());
+        // log₂ buckets bound each estimate to a factor of 2 of the truth.
+        assert!((250..=1000).contains(&p50), "median of 1..=1000: {p50}");
+        assert!((450..=1000).contains(&p90), "p90 of 1..=1000: {p90}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0, "all-zero observations");
+        let h2 = Histogram::default();
+        h2.record(42);
+        // A single observation is every quantile, within bucket resolution.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h2.quantile(q);
+            assert!((32..=42).contains(&est), "q={q}: {est}");
+        }
+        assert_eq!(h2.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn snapshot_carries_percentiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert!(hs.p50 <= hs.p90 && hs.p90 <= hs.p99);
+        assert!(hs.p99 <= hs.max);
+        assert!(snap.render_text().contains("p50"));
     }
 
     #[test]

@@ -30,4 +30,24 @@ cmp "$TDIR/plain.out" "$TDIR/traced.out" || {
 }
 ./target/debug/trace_check "$TDIR/fig2.json"
 
+echo "== profiler smoke test =="
+# Same invisibility contract for the critical-path profiler: fig5 with
+# --profile-out must keep stdout byte-identical, and the emitted fftprof
+# JSON must satisfy the profiler invariants (phase rows tile the makespan,
+# critical path fits in the window, contention rows balance exactly).
+# FFT_FIG5_MAX_NODES trims the 512-node ladder so the smoke stays fast.
+cargo build --offline -q -p fft-bench --bin fig5
+FFT_FIG5_MAX_NODES=8 ./target/debug/fig5 >"$TDIR/fig5.plain.out"
+FFT_FIG5_MAX_NODES=8 ./target/debug/fig5 --profile-out "$TDIR/fig5.prof.json" \
+    >"$TDIR/fig5.prof.out" 2>"$TDIR/fig5.prof.err"
+cmp "$TDIR/fig5.plain.out" "$TDIR/fig5.prof.out" || {
+    echo "FAIL: --profile-out changed figure stdout" >&2
+    exit 1
+}
+./target/debug/trace_check --profile "$TDIR/fig5.prof.json"
+[ -s "$TDIR/fig5.prof.json.folded" ] || {
+    echo "FAIL: collapsed-stack sidecar missing or empty" >&2
+    exit 1
+}
+
 echo "CI green."
