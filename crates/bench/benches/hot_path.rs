@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
-use fftkern::plan::{Layout, Plan1d};
+use fftkern::plan::{Engine, Layout, Plan1d};
 use fftkern::{plan_cache, Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
@@ -19,9 +19,10 @@ fn signal(n: usize) -> Vec<C64> {
         .collect()
 }
 
-/// Cold path (pre-overhaul executor): build the 1-D plan on every call and
-/// let `execute_inplace` allocate its own scratch. Warm path: fetch the plan
-/// from the global cache and run through a caller-held scratch buffer.
+/// Cold path (pre-overhaul engine): build a legacy radix-2 plan on every
+/// call and let `execute_inplace` allocate its own scratch. Warm path: fetch
+/// the Stockham plan from the global cache and run through a caller-held
+/// scratch buffer — the same A/B protocol as `bench_snapshot`.
 fn bench_plan_reuse(c: &mut Criterion) {
     // (n, batch): a pow2 production size and an awkward Bluestein size —
     // the plan-build cost the cache removes is largest for the latter.
@@ -30,8 +31,13 @@ fn bench_plan_reuse(c: &mut Criterion) {
         let mut data = signal(n * batch);
         group.bench_function("cold_build_per_call", |b| {
             b.iter(|| {
-                let plan =
-                    Plan1d::with_layout(n, batch, Layout::contiguous(n), Layout::contiguous(n));
+                let plan = Plan1d::with_engine(
+                    n,
+                    batch,
+                    Layout::contiguous(n),
+                    Layout::contiguous(n),
+                    Engine::Legacy,
+                );
                 plan.execute_inplace(&mut data, Direction::Forward);
             });
         });
@@ -50,25 +56,74 @@ fn bench_plan_reuse(c: &mut Criterion) {
     }
 }
 
-/// Functional distributed execute with a fresh `ExecCtx` per transform
-/// (empty pool, every reshape buffer allocated) vs a long-lived one.
+/// Strided-axis batch (the mid-axis of a pencil decomposition): 64
+/// interleaved lines of 512 points at stride 64. Cold = legacy per-line
+/// gather/scatter radix-2, built per call; warm = cached Stockham plan with
+/// cache-blocked tile gather/scatter.
+fn bench_strided_axis(c: &mut Criterion) {
+    let (n, stride) = (512usize, 64usize);
+    let mut group = c.benchmark_group("strided_axis_512x64");
+    group.sample_size(20);
+    let mut data = signal(n * stride);
+    group.bench_function("cold_legacy_per_line", |b| {
+        b.iter(|| {
+            let plan = Plan1d::with_engine(
+                n,
+                stride,
+                Layout::strided(stride),
+                Layout::strided(stride),
+                Engine::Legacy,
+            );
+            plan.execute_inplace(&mut data, Direction::Forward);
+        });
+    });
+    let mut scratch = Vec::new();
+    group.bench_function("warm_blocked_tiles", |b| {
+        b.iter(|| {
+            let plan =
+                plan_cache().plan1d(n, stride, Layout::strided(stride), Layout::strided(stride));
+            if scratch.len() < plan.scratch_elems() {
+                scratch.resize(plan.scratch_elems(), C64::ZERO);
+            }
+            plan.execute_inplace_scratch(&mut data, Direction::Forward, &mut scratch);
+        });
+    });
+    group.finish();
+}
+
+/// Functional distributed execute, pre-overhaul vs overhauled — the same
+/// A/B as `bench_snapshot`'s functional row: fresh legacy-baseline contexts
+/// on an unfused, unmemoized world vs a long-lived multi-worker context on
+/// a default world.
 fn bench_reshape_pool(c: &mut Criterion) {
     let machine = MachineSpec::testbox(2);
     let plan = FftPlan::build([16, 16, 16], 8, FftOptions::default());
     let mut group = c.benchmark_group("reshape_pool_16cubed_8ranks");
     group.sample_size(10);
-    for (label, reuse) in [("fresh_ctx", false), ("pooled_ctx", true)] {
+    for (label, reuse) in [("legacy_baseline", false), ("pooled_ctx", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &reuse, |b, &reuse| {
             b.iter(|| {
-                let world = World::new(machine.clone(), 8, WorldOpts::default());
+                let opts = WorldOpts {
+                    sched_memo: reuse,
+                    fused_meta: reuse,
+                    ..WorldOpts::default()
+                };
+                let world = World::new(machine.clone(), 8, opts);
                 world.run(|rank| {
                     let comm = Comm::world(rank);
                     let bound = bind(&plan, rank, &comm);
-                    let mut ctx = ExecCtx::new();
+                    let fresh = || {
+                        if reuse {
+                            ExecCtx::with_threads(2)
+                        } else {
+                            ExecCtx::legacy_baseline()
+                        }
+                    };
+                    let mut ctx = fresh();
                     let vol = plan.dists[0].rank_box(rank.rank()).volume();
                     for _ in 0..8 {
                         if !reuse {
-                            ctx = ExecCtx::new(); // drop the pool every rep
+                            ctx = fresh(); // drop pools + plans every rep
                         }
                         let mut data = vec![vec![C64::ONE; vol]];
                         execute(
@@ -107,6 +162,7 @@ fn bench_sweep_parallel(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_plan_reuse,
+    bench_strided_axis,
     bench_reshape_pool,
     bench_sweep_parallel
 );

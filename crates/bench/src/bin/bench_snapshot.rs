@@ -1,39 +1,71 @@
 //! Self-timed snapshot of the hot-path microbenchmarks, emitted as JSON so
-//! the speedup of the execution overhaul is recorded in-tree
+//! the speedup of the kernel-engine overhaul is recorded in-tree
 //! (`BENCH_engine.json`) and checkable by CI without the Criterion harness.
 //!
 //! Usage: `cargo run --release -p fft-bench --bin bench_snapshot [out.json]`
 //! (or `scripts/bench_snapshot`). Exits non-zero if the headline
-//! repeated-transform microbench (warm plan cache + pooled scratch vs
-//! cold build-per-call) falls below the 2x acceptance threshold.
+//! repeated-transform microbench falls below the 2x acceptance threshold.
+//!
+//! Cold vs warm: **cold** is the faithful pre-overhaul path — the seed's
+//! `Engine::Legacy` scalar radix-2 kernels (bit-reversal pass, per-line
+//! gather/scatter), a fresh plan built per call, allocating execution, and
+//! for the distributed row a fresh serial `ExecCtx` per transform. **Warm**
+//! is the overhauled path — Stockham autosort kernels, the global plan
+//! cache, caller-held scratch, and for the distributed row a long-lived
+//! context with pooled buffers and `> 1` executor workers.
 
 use std::time::Instant;
 
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
-use fftkern::plan::{Layout, Plan1d};
+use fftkern::plan::{Engine, Layout, Plan1d};
 use fftkern::{plan_cache, Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
 
-/// Median-of-samples wall time per call, in nanoseconds.
-fn time_ns(mut f: impl FnMut(), iters: u32, samples: u32) -> f64 {
-    // One untimed warm-up sample absorbs lazy init (twiddle interning, page
-    // faults) so both variants start from the same global state.
+/// Executor worker count used for the warm distributed row.
+const WARM_EXEC_THREADS: usize = 2;
+
+fn median_ns(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Median-of-samples wall time per call for a cold/warm pair, in
+/// nanoseconds. Samples are *interleaved* (cold, warm, cold, warm, …) so a
+/// sustained clock-speed drift — thermal throttling after minutes of
+/// full-load CI — hits both legs equally instead of landing entirely on
+/// whichever leg happens to be measured last.
+fn time_pair_ns(
+    mut cold: impl FnMut(),
+    mut warm: impl FnMut(),
+    iters: u32,
+    samples: u32,
+) -> (f64, f64) {
+    // One untimed warm-up sample per leg absorbs lazy init (twiddle
+    // interning, page faults) so both variants start from the same global
+    // state.
     for _ in 0..iters {
-        f();
+        cold();
     }
-    let mut per_call: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    per_call.sort_by(|a, b| a.total_cmp(b));
-    per_call[per_call.len() / 2]
+    for _ in 0..iters {
+        warm();
+    }
+    let mut cold_samples = Vec::with_capacity(samples as usize);
+    let mut warm_samples = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            cold();
+        }
+        cold_samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            warm();
+        }
+        warm_samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    (median_ns(cold_samples), median_ns(warm_samples))
 }
 
 fn signal(n: usize) -> Vec<C64> {
@@ -54,28 +86,29 @@ impl Row {
     }
 }
 
-/// Cold = the pre-overhaul executor inner loop: a fresh `Plan1d` per call,
-/// scratch allocated inside `execute_inplace`. Warm = global plan cache +
-/// caller-held scratch. Same transform, same data, bit-identical output
-/// (asserted by `tests/pooling.rs`).
-fn plan_reuse_row(name: &'static str, n: usize, batch: usize, iters: u32) -> Row {
-    let mut data = signal(n * batch);
-    let cold_ns = time_ns(
-        || {
-            let plan = Plan1d::with_layout(n, batch, Layout::contiguous(n), Layout::contiguous(n));
-            plan.execute_inplace(&mut data, Direction::Forward);
-        },
-        iters,
-        7,
-    );
+/// Cold = the pre-overhaul inner loop: a fresh legacy-engine `Plan1d` per
+/// call, scratch allocated inside `execute_inplace`. Warm = overhauled
+/// engine via the global plan cache + caller-held scratch. Same transform,
+/// same data; the engines agree within FFT round-off
+/// (`tests/equivalence.rs` asserts it exhaustively).
+fn plan_reuse_row(name: &'static str, n: usize, batch: usize, layout: Layout, iters: u32) -> Row {
+    // Strided layouts interleave lines; the buffer is batch*n either way.
+    // Two data buffers so the legs don't hand each other warmed caches in
+    // lockstep; both start from the same signal.
+    let mut cold_data = signal(n * batch);
+    let mut warm_data = cold_data.clone();
     let mut scratch = Vec::new();
-    let warm_ns = time_ns(
+    let (cold_ns, warm_ns) = time_pair_ns(
         || {
-            let plan = plan_cache().plan1d(n, batch, Layout::contiguous(n), Layout::contiguous(n));
+            let plan = Plan1d::with_engine(n, batch, layout, layout, Engine::Legacy);
+            plan.execute_inplace(&mut cold_data, Direction::Forward);
+        },
+        || {
+            let plan = plan_cache().plan1d(n, batch, layout, layout);
             if scratch.len() < plan.scratch_elems() {
                 scratch.resize(plan.scratch_elems(), C64::ZERO);
             }
-            plan.execute_inplace_scratch(&mut data, Direction::Forward, &mut scratch);
+            plan.execute_inplace_scratch(&mut warm_data, Direction::Forward, &mut scratch);
         },
         iters,
         7,
@@ -87,18 +120,34 @@ fn plan_reuse_row(name: &'static str, n: usize, batch: usize, iters: u32) -> Row
     }
 }
 
-/// Functional distributed transform: fresh `ExecCtx` per call (empty reshape
-/// pool) vs a long-lived context whose pool and kernel scratch are warm.
+/// Functional distributed transform. Cold = the pre-overhaul executor: a
+/// fresh serial [`ExecCtx::legacy_baseline`] per transform (legacy radix-2
+/// kernels, fresh 1-D plans, empty reshape pool) on a world without the
+/// collective-schedule memo. Warm = the overhauled executor: a long-lived
+/// context with [`WARM_EXEC_THREADS`] workers whose pool and kernel
+/// scratch stay warm across calls, on a memoizing world.
 fn reshape_pool_row(iters: u32) -> Row {
     let machine = MachineSpec::testbox(2);
     let plan = FftPlan::build([16, 16, 16], 8, FftOptions::default());
     let run = |reuse_ctx: bool, iters: u32| {
-        let world = World::new(machine.clone(), 8, WorldOpts::default());
+        let opts = WorldOpts {
+            sched_memo: reuse_ctx,
+            fused_meta: reuse_ctx,
+            ..WorldOpts::default()
+        };
+        let world = World::new(machine.clone(), 8, opts);
         let plan = &plan;
         let times = world.run(move |rank| {
             let comm = Comm::world(rank);
             let bound = bind(plan, rank, &comm);
-            let mut ctx = ExecCtx::new();
+            let fresh_ctx = || {
+                if reuse_ctx {
+                    ExecCtx::with_threads(WARM_EXEC_THREADS)
+                } else {
+                    ExecCtx::legacy_baseline()
+                }
+            };
+            let mut ctx = fresh_ctx();
             let vol = plan.dists[0].rank_box(rank.rank()).volume();
             let mut data = vec![vec![C64::ONE; vol]];
             // Warm-up pass (also fills the pool for the reuse variant).
@@ -114,7 +163,7 @@ fn reshape_pool_row(iters: u32) -> Row {
             let start = Instant::now();
             for _ in 0..iters {
                 if !reuse_ctx {
-                    ctx = ExecCtx::new();
+                    ctx = fresh_ctx(); // drop pools + plans every rep
                 }
                 let mut data = vec![vec![C64::ONE; vol]];
                 execute(
@@ -131,16 +180,18 @@ fn reshape_pool_row(iters: u32) -> Row {
         });
         times.iter().copied().fold(0.0, f64::max)
     };
-    // Median over a few repetitions of the whole world run.
-    let median = |reuse: bool| {
-        let mut xs: Vec<f64> = (0..5).map(|_| run(reuse, iters)).collect();
-        xs.sort_by(|a, b| a.total_cmp(b));
-        xs[xs.len() / 2]
-    };
+    // Median over a few repetitions of the whole world run, with the
+    // cold/warm runs interleaved so sustained clock drift cancels out of
+    // the ratio (same rationale as `time_pair_ns`).
+    let (mut cold_samples, mut warm_samples) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        cold_samples.push(run(false, iters));
+        warm_samples.push(run(true, iters));
+    }
     Row {
         name: "functional_exec_16cubed_8ranks",
-        cold_ns: median(false),
-        warm_ns: median(true),
+        cold_ns: median_ns(cold_samples),
+        warm_ns: median_ns(warm_samples),
     }
 }
 
@@ -264,8 +315,24 @@ fn main() {
         // Headline acceptance microbench: repeated single transform of an
         // awkward (Bluestein) length, where per-call plan construction —
         // chirp tables plus two kernel FFTs — rivals the transform itself.
-        plan_reuse_row("repeated_transform_bluestein_499", 499, 1, 400),
-        plan_reuse_row("repeated_transform_pow2_512x16", 512, 16, 200),
+        plan_reuse_row(
+            "repeated_transform_bluestein_499",
+            499,
+            1,
+            Layout::contiguous(499),
+            400,
+        ),
+        plan_reuse_row(
+            "repeated_transform_pow2_512x16",
+            512,
+            16,
+            Layout::contiguous(512),
+            200,
+        ),
+        // Strided-axis tile path: interleaved lines (stride = batch), the
+        // layout the distributed executor uses for axes 0/1. Cold runs the
+        // legacy per-line gather/scatter; warm the cache-blocked tiles.
+        plan_reuse_row("strided_axis_512x64", 512, 64, Layout::strided(64), 40),
         reshape_pool_row(64),
         sweep_parallel_row(),
     ];
@@ -275,12 +342,14 @@ fn main() {
     let (pool, pc_hits, pc_misses) = efficiency_metrics();
 
     let mut json = String::from("{\n");
-    json.push_str("  \"suite\": \"hot-path execution overhaul\",\n");
+    json.push_str("  \"suite\": \"kernel engine overhaul\",\n");
     json.push_str(
-        "  \"protocol\": \"median of samples, per-call ns; cold = build plan per call + allocating execute, warm = global PlanCache + pooled scratch\",\n",
+        "  \"protocol\": \"median of interleaved cold/warm samples, per-call ns; cold = pre-overhaul path (Engine::Legacy radix-2, fresh plan per call, allocating execute, fresh serial ExecCtx), warm = overhauled path (Stockham autosort, PlanCache, pooled scratch, long-lived multi-worker ExecCtx)\",\n",
     );
     json.push_str("  \"threads\": ");
     json.push_str(&fftmodels::sweep_threads().to_string());
+    json.push_str(",\n  \"exec_threads\": ");
+    json.push_str(&WARM_EXEC_THREADS.to_string());
     // Environment stamps: enough to interpret a regression report without
     // the machine it came from.
     json.push_str(&format!(

@@ -102,35 +102,77 @@ impl Box3 {
         out
     }
 
+    /// Length (in elements) of one contiguous run when walking `region`
+    /// inside this box's row-major storage, run-coalesced: a region that
+    /// spans the full fastest axis merges whole `j`-planes (and, if it also
+    /// spans axis 1, the entire region) into single `memcpy`-sized runs.
+    /// Slab reshapes hit the fully-merged case, pencil reshapes the
+    /// plane-merged one — turning the per-row copy loop into a handful of
+    /// bulk copies.
+    fn run_len(&self, region: &Box3) -> usize {
+        let full2 = region.lo[2] == self.lo[2] && region.hi[2] == self.hi[2];
+        let full1 = region.lo[1] == self.lo[1] && region.hi[1] == self.hi[1];
+        if full2 && full1 {
+            region.volume()
+        } else if full2 {
+            region.len(1) * region.len(2)
+        } else {
+            region.len(2)
+        }
+    }
+
     /// Appends the elements of `region` (row-major) onto `out` without
     /// allocating a fresh buffer — the zero-churn form of [`extract`] used
-    /// by the pooled send-packing path.
+    /// by the pooled send-packing path. Runs are coalesced per
+    /// [`run_len`](Box3::run_len).
     ///
     /// [`extract`]: Box3::extract
     pub fn extract_into(&self, data: &[C64], region: &Box3, out: &mut Vec<C64>) {
         debug_assert_eq!(data.len(), self.volume());
-        out.reserve(region.volume());
+        let vol = region.volume();
+        if vol == 0 {
+            return;
+        }
+        out.reserve(vol);
+        let run = self.run_len(region);
+        let mut copied = 0;
         for i in region.lo[0]..region.hi[0] {
-            for j in region.lo[1]..region.hi[1] {
+            let mut j = region.lo[1];
+            while j < region.hi[1] {
                 let base = self.local_index([i, j, region.lo[2]]);
-                out.extend_from_slice(&data[base..base + region.len(2)]);
+                out.extend_from_slice(&data[base..base + run]);
+                copied += run;
+                if copied >= vol {
+                    return;
+                }
+                j += (run / region.len(2)).max(1);
             }
         }
     }
 
     /// Deposits a contiguous `block` (as produced by [`extract`]) into this
-    /// box's local storage at `region`.
+    /// box's local storage at `region`. Runs are coalesced per
+    /// [`run_len`](Box3::run_len).
     ///
     /// [`extract`]: Box3::extract
     pub fn deposit(&self, data: &mut [C64], region: &Box3, block: &[C64]) {
         debug_assert_eq!(data.len(), self.volume());
         debug_assert_eq!(block.len(), region.volume());
+        if block.is_empty() {
+            return;
+        }
+        let run = self.run_len(region);
         let mut src = 0;
         for i in region.lo[0]..region.hi[0] {
-            for j in region.lo[1]..region.hi[1] {
+            let mut j = region.lo[1];
+            while j < region.hi[1] {
                 let base = self.local_index([i, j, region.lo[2]]);
-                data[base..base + region.len(2)].copy_from_slice(&block[src..src + region.len(2)]);
-                src += region.len(2);
+                data[base..base + run].copy_from_slice(&block[src..src + run]);
+                src += run;
+                if src >= block.len() {
+                    return;
+                }
+                j += (run / region.len(2)).max(1);
             }
         }
     }

@@ -115,6 +115,8 @@ impl<'a> DryRunner<'a> {
             spec: self.machine,
             seed: self.opts.seed,
             noise_amp: self.opts.noise_amplitude,
+            // The dry run prices each schedule once; nothing to memoize.
+            memo: None,
         };
         let n = plan.nranks;
         let mut traces = vec![Trace::new(); n];

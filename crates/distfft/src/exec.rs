@@ -28,23 +28,91 @@ use crate::plan::{CommBackend, FftPlan, Step};
 use crate::reshape::{apply_self_block, ReshapeSpec};
 use crate::trace::{KernelKind, Trace, TraceEvent};
 
+/// Worker-thread count for the parallel executor: the `FFT_EXEC_THREADS`
+/// environment variable if set (and ≥ 1), otherwise 1 (serial). Unlike the
+/// sweep harnesses, the executor defaults to serial: rank programs already
+/// run one thread per rank, so oversubscription is an explicit opt-in.
+pub fn exec_threads() -> usize {
+    if let Ok(v) = std::env::var("FFT_EXEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    1
+}
+
+/// Minimum number of complex elements a local-FFT or pack/unpack call must
+/// touch before the executor fans it out across worker threads. Below this
+/// the per-call thread spawn/join cost of the scoped pool dwarfs the work
+/// (a 16³ per-rank grid is 4 096 elements — microseconds of math), so small
+/// problems run inline on worker 0 even when the context owns several
+/// arenas. The gate is a pure function of the data sizes, so scheduling —
+/// and therefore per-arena [`PoolStats`] — stays deterministic.
+const PAR_MIN_ELEMS: usize = 8192;
+
 /// Cross-call executor state: strided-plan warmup tracking, the phase-id
 /// counter and the per-rank scratch pool. Create one per experiment and
 /// reuse it across warm-up and timed transforms so the Fig. 10 first-call
 /// spikes land in the warm-up — and so the steady state runs entirely out
 /// of recycled buffers, as on the real machine.
-#[derive(Debug, Default, Clone)]
+///
+/// With [`with_threads`](ExecCtx::with_threads)` > 1` the context carries
+/// one scratch arena *per worker* and the executor fans local FFT and
+/// pack/unpack work across a statically-partitioned thread pool
+/// ([`mpisim::par::par_parts`]). Work unit `i` always runs on worker
+/// `i % threads` against that worker's arena, so results stay bit-identical
+/// to the serial path and per-arena [`PoolStats`] stay deterministic.
+#[derive(Debug, Clone)]
 pub struct ExecCtx {
     strided_seen: HashSet<(usize, usize, bool)>,
     call_counter: u64,
-    scratch: ExecScratch,
+    /// One scratch arena per executor worker; `arenas[0]` doubles as the
+    /// serial/chunk-level pool (new layouts, retired arrays).
+    arenas: Vec<ExecScratch>,
+    /// Pre-overhaul baseline mode: legacy radix-2 kernels, a fresh plan
+    /// built per call, no plan-cache participation. Benchmark-only.
+    baseline: bool,
+}
+
+impl Default for ExecCtx {
+    fn default() -> ExecCtx {
+        ExecCtx::with_threads(exec_threads())
+    }
 }
 
 impl ExecCtx {
     /// Fresh state (next transform pays the strided first-call spikes and
-    /// the buffer-pool warm-up).
+    /// the buffer-pool warm-up). Worker count comes from [`exec_threads`].
     pub fn new() -> ExecCtx {
         ExecCtx::default()
+    }
+
+    /// Fresh state with an explicit executor worker count (`.max(1)`).
+    pub fn with_threads(threads: usize) -> ExecCtx {
+        ExecCtx {
+            strided_seen: HashSet::new(),
+            call_counter: 0,
+            arenas: vec![ExecScratch::default(); threads.max(1)],
+            baseline: false,
+        }
+    }
+
+    /// A context that reproduces the **pre-overhaul** executor: serial,
+    /// legacy radix-2 kernels (`Engine::Legacy` — bit-reversal pass,
+    /// per-line gather/scatter), and a fresh 1-D plan built on every local
+    /// FFT instead of a plan-cache lookup. Exists so benchmarks compare the
+    /// engine overhaul against the real seed code path, not a synthetic
+    /// slowdown.
+    pub fn legacy_baseline() -> ExecCtx {
+        ExecCtx {
+            baseline: true,
+            ..ExecCtx::with_threads(1)
+        }
+    }
+
+    /// Executor worker count (≥ 1; 1 means fully serial).
+    pub fn threads(&self) -> usize {
+        self.arenas.len()
     }
 
     pub(crate) fn first_strided(&mut self, dist: usize, axis: usize, dir: Direction) -> bool {
@@ -60,24 +128,38 @@ impl ExecCtx {
 
     /// Takes a pooled, empty staging buffer (recycled capacity, length 0).
     pub(crate) fn take_buffer(&mut self) -> Vec<C64> {
-        self.scratch.take_empty()
+        self.arenas[0].take_empty()
     }
 
     /// Returns a buffer to the pool for reuse by later calls.
     pub(crate) fn recycle(&mut self, buf: Vec<C64>) {
-        self.scratch.give(buf);
+        self.arenas[0].give(buf);
     }
 
-    /// Number of buffers currently parked in the pool (diagnostics).
+    /// Number of buffers currently parked across all arenas (diagnostics).
     pub fn pooled_buffers(&self) -> usize {
-        self.scratch.arrays.len()
+        self.arenas.iter().map(|a| a.arrays.len()).sum()
     }
 
     /// Cumulative hit/miss/eviction statistics of this context's scratch
-    /// pool. Per-context (deterministic even when tests run in parallel);
-    /// the same events also feed the global `distfft.exec_pool.*` counters.
+    /// pool, aggregated over all worker arenas. Per-context (deterministic
+    /// even when tests run in parallel); the same events also feed the
+    /// global `distfft.exec_pool.*` counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.scratch.stats
+        self.arenas
+            .iter()
+            .fold(PoolStats::default(), |acc, a| PoolStats {
+                hits: acc.hits + a.stats.hits,
+                misses: acc.misses + a.stats.misses,
+                evictions: acc.evictions + a.stats.evictions,
+            })
+    }
+
+    /// Per-worker arena statistics, in worker order. With the static
+    /// round-robin partitioning these are a pure function of the workload
+    /// (asserted by `tests/parallel_exec.rs`).
+    pub fn pool_stats_per_worker(&self) -> Vec<PoolStats> {
+        self.arenas.iter().map(|a| a.stats).collect()
     }
 }
 
@@ -147,6 +229,14 @@ impl ExecScratch {
                 Vec::new()
             }
         }
+    }
+
+    /// The per-arena 1-D kernel scratch, grown to at least `elems`.
+    fn kernel_for(&mut self, elems: usize) -> &mut Vec<C64> {
+        if self.kernel.len() < elems {
+            self.kernel.resize(elems, C64::ZERO);
+        }
+        &mut self.kernel
     }
 
     fn give(&mut self, buf: Vec<C64>) {
@@ -287,7 +377,14 @@ pub fn execute(
                     // Real math on every item of this chunk.
                     let b = plan.dists[dist].rank_box(me);
                     if !b.is_empty() {
-                        run_local_fft(b, axis, &mut data[ilo..ihi], dir, &mut ctx.scratch.kernel);
+                        run_local_fft(
+                            b,
+                            axis,
+                            &mut data[ilo..ihi],
+                            dir,
+                            &mut ctx.arenas,
+                            ctx.baseline,
+                        );
                     }
                 }
                 Step::Reshape(ri) => {
@@ -333,15 +430,24 @@ pub fn execute(
 /// strided distinction is a *timing* concern handled by the kernel model).
 ///
 /// Plans come out of the process-wide [`fftkern::plan_cache`] and the
-/// transform runs through the `_scratch` entry points against `kernel`
-/// (grown once per shape, reused across calls), so the steady state builds
-/// no plans and allocates no buffers.
+/// transform runs through the `_scratch` entry points against each arena's
+/// kernel buffer (grown once per shape, reused across calls), so the steady
+/// state builds no plans and allocates no buffers.
+///
+/// With more than one arena — and at least [`PAR_MIN_ELEMS`] elements of
+/// work, below which the fan-out cost exceeds the math — the batch is split
+/// into disjoint `&mut` work units — contiguous row blocks (axis 2), axis-0
+/// planes (axis 1), whole batch items (axis 0) — and fanned across
+/// [`mpisim::par::par_parts`].
+/// Every row is still transformed by the same plan math against the same
+/// interned twiddles, so the parallel result is bit-identical to serial.
 fn run_local_fft(
     b: &Box3,
     axis: usize,
     data: &mut [Vec<C64>],
     dir: Direction,
-    kernel: &mut Vec<C64>,
+    arenas: &mut [ExecScratch],
+    baseline: bool,
 ) {
     let s = b.shape();
     let n = s[axis];
@@ -349,36 +455,90 @@ fn run_local_fft(
         return;
     }
     let cache = fftkern::plan_cache();
-    let plan1d = match axis {
-        2 => cache.plan1d(n, s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
-        1 => cache.plan1d(n, s[2], Layout::strided(s[2]), Layout::strided(s[2])),
-        0 => cache.plan1d(
-            n,
-            s[1] * s[2],
-            Layout::strided(s[1] * s[2]),
-            Layout::strided(s[1] * s[2]),
-        ),
-        _ => unreachable!("axis out of range"),
-    };
-    if kernel.len() < plan1d.scratch_elems() {
-        kernel.resize(plan1d.scratch_elems(), C64::ZERO);
-    }
-    for item in data.iter_mut() {
-        match axis {
-            2 | 0 => plan1d.execute_inplace_scratch(item, dir, kernel),
-            1 => {
-                // Axis 1 is strided within each axis-0 plane.
-                let plane = s[1] * s[2];
-                for i0 in 0..s[0] {
-                    plan1d.execute_inplace_scratch(
-                        &mut item[i0 * plane..(i0 + 1) * plane],
-                        dir,
-                        kernel,
-                    );
+    let total_elems: usize = data.iter().map(|item| item.len()).sum();
+    if arenas.len() <= 1 || total_elems < PAR_MIN_ELEMS {
+        // Serial fast path: one plan lookup, one kernel buffer. In baseline
+        // mode the plan is instead built fresh per call with the legacy
+        // engine — the pre-overhaul executor, kept for honest A/B benches.
+        let (batch, input, output) = match axis {
+            2 => (s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
+            1 => (s[2], Layout::strided(s[2]), Layout::strided(s[2])),
+            0 => (
+                s[1] * s[2],
+                Layout::strided(s[1] * s[2]),
+                Layout::strided(s[1] * s[2]),
+            ),
+            _ => unreachable!("axis out of range"),
+        };
+        let plan1d = if baseline {
+            std::sync::Arc::new(fftkern::plan::Plan1d::with_engine(
+                n,
+                batch,
+                input,
+                output,
+                fftkern::plan::Engine::Legacy,
+            ))
+        } else {
+            cache.plan1d(n, batch, input, output)
+        };
+        let kernel = arenas[0].kernel_for(plan1d.scratch_elems());
+        for item in data.iter_mut() {
+            match axis {
+                2 | 0 => plan1d.execute_inplace_scratch(item, dir, kernel),
+                1 => {
+                    // Axis 1 is strided within each axis-0 plane.
+                    let plane = s[1] * s[2];
+                    for i0 in 0..s[0] {
+                        plan1d.execute_inplace_scratch(
+                            &mut item[i0 * plane..(i0 + 1) * plane],
+                            dir,
+                            kernel,
+                        );
+                    }
                 }
+                _ => unreachable!(),
             }
-            _ => unreachable!(),
         }
+        return;
+    }
+    match axis {
+        2 => {
+            // Contiguous rows: split each item into per-worker row blocks.
+            let rows = s[0] * s[1];
+            let per = rows.div_ceil(arenas.len()).max(1);
+            let units: Vec<&mut [C64]> = data
+                .iter_mut()
+                .flat_map(|item| item.chunks_mut(per * n))
+                .collect();
+            mpisim::par::par_parts(arenas, units, |_, arena, seg| {
+                let rows_u = seg.len() / n;
+                let plan = cache.plan1d(n, rows_u, Layout::contiguous(n), Layout::contiguous(n));
+                plan.execute_inplace_scratch(seg, dir, arena.kernel_for(plan.scratch_elems()));
+            });
+        }
+        1 => {
+            // One strided batch per axis-0 plane; planes are disjoint slices.
+            let plane = s[1] * s[2];
+            let units: Vec<&mut [C64]> = data
+                .iter_mut()
+                .flat_map(|item| item.chunks_mut(plane))
+                .collect();
+            let plan = cache.plan1d(n, s[2], Layout::strided(s[2]), Layout::strided(s[2]));
+            mpisim::par::par_parts(arenas, units, |_, arena, seg| {
+                plan.execute_inplace_scratch(seg, dir, arena.kernel_for(plan.scratch_elems()));
+            });
+        }
+        0 => {
+            // Axis 0 spans every plane of an item, so the finest safe `&mut`
+            // split is one unit per batch item.
+            let stride = s[1] * s[2];
+            let units: Vec<&mut Vec<C64>> = data.iter_mut().collect();
+            let plan = cache.plan1d(n, stride, Layout::strided(stride), Layout::strided(stride));
+            mpisim::par::par_parts(arenas, units, |_, arena, item| {
+                plan.execute_inplace_scratch(item, dir, arena.kernel_for(plan.scratch_elems()));
+            });
+        }
+        _ => unreachable!("axis out of range"),
     }
 }
 
@@ -449,7 +609,7 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
     // New local arrays in the target layout, drawn zero-filled from the
     // rank's buffer pool (bit-identical to freshly allocated arrays).
     let mut new_data: Vec<Vec<C64>> = (0..items)
-        .map(|_| ctx.scratch.take_zeroed(to_box.volume()))
+        .map(|_| ctx.arenas[0].take_zeroed(to_box.volume()))
         .collect();
 
     // P2P self block: device copy outside MPI.
@@ -498,7 +658,17 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
                 );
             }
             _ => {
-                let sends = build_sends(plan, spec, sub, from_box, data, items, &mut ctx.scratch);
+                // Grain gate: pack/unpack of a tiny chunk runs inline on
+                // arena 0 — the same decision on take and recycle sides, so
+                // per-arena pool traffic stays balanced (see PAR_MIN_ELEMS).
+                let vol = items * from_box.volume().max(to_box.volume());
+                let w = if vol < PAR_MIN_ELEMS {
+                    1
+                } else {
+                    ctx.arenas.len()
+                };
+                let sends =
+                    build_sends(plan, spec, sub, from_box, data, items, &mut ctx.arenas[..w]);
                 let recvd = match backend {
                     CommBackend::AllToAll => coll::alltoall(rank, sub, env, sends),
                     CommBackend::AllToAllV => coll::alltoallv(rank, sub, env, sends),
@@ -510,9 +680,20 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
                     }
                     CommBackend::AllToAllW => unreachable!(),
                 };
-                deposit_recvs(plan, spec, sub, to_box, &recvd, &mut new_data);
-                for buf in recvd {
-                    ctx.scratch.give(buf);
+                deposit_recvs(
+                    plan,
+                    spec,
+                    sub,
+                    to_box,
+                    &recvd,
+                    &mut new_data,
+                    &mut ctx.arenas[..w],
+                );
+                // Recycle received blocks round-robin so per-arena give
+                // counts match the round-robin takes in `build_sends` —
+                // keeping every arena's free list balanced in steady state.
+                for (j, buf) in recvd.into_iter().enumerate() {
+                    ctx.arenas[j % w].give(buf);
                 }
             }
         }
@@ -541,16 +722,22 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
     }
 
     // Swap the chunk's arrays to the new layout; the superseded arrays go
-    // back to the pool for the next reshape of this rank.
+    // back to the pool for the next reshape of this rank. They return to
+    // arena 0, which is also where `take_zeroed` drew the new layouts.
     for (old, new) in data.iter_mut().zip(new_data) {
         let prev = std::mem::replace(old, new);
-        ctx.scratch.give(prev);
+        ctx.arenas[0].give(prev);
     }
 }
 
 /// Builds per-destination send buffers (items coalesced), in sub-comm member
 /// order, packing straight from the local arrays into pooled buffers. P2P
 /// skips the diagonal; padded Alltoall pads to the group maximum.
+///
+/// Destination `j` is packed by worker `j % arenas.len()` out of that
+/// worker's arena ([`par_parts`](mpisim::par::par_parts) round-robin), so
+/// the pack kernel parallelizes while per-arena take counts stay
+/// deterministic; with one arena this degenerates to the serial loop.
 #[allow(clippy::too_many_arguments)]
 fn build_sends(
     plan: &FftPlan,
@@ -559,7 +746,7 @@ fn build_sends(
     from_box: &Box3,
     data: &[Vec<C64>],
     items: usize,
-    pool: &mut ExecScratch,
+    arenas: &mut [ExecScratch],
 ) -> Vec<Vec<C64>> {
     let me_world = sub.member(sub.me());
     let is_p2p = plan.opts.backend.is_p2p();
@@ -570,31 +757,34 @@ fn build_sends(
         0
     };
 
-    (0..sub.size())
-        .map(|j| {
-            let dst_world = sub.member(j);
-            if is_p2p && dst_world == me_world {
-                return Vec::new();
+    let dests: Vec<usize> = (0..sub.size()).collect();
+    mpisim::par::par_parts(arenas, dests, |_, pool, j| {
+        let dst_world = sub.member(j);
+        if is_p2p && dst_world == me_world {
+            return Vec::new();
+        }
+        let region = spec.sends[me_world]
+            .iter()
+            .find(|(d, _)| *d == dst_world)
+            .map(|(_, b)| *b);
+        let mut buf = pool.take_empty();
+        if let Some(region) = region {
+            for item in data.iter().take(items) {
+                from_box.extract_into(item, &region, &mut buf);
             }
-            let region = spec.sends[me_world]
-                .iter()
-                .find(|(d, _)| *d == dst_world)
-                .map(|(_, b)| *b);
-            let mut buf = pool.take_empty();
-            if let Some(region) = region {
-                for item in data.iter().take(items) {
-                    from_box.extract_into(item, &region, &mut buf);
-                }
-            }
-            if plan.opts.backend == CommBackend::AllToAll {
-                buf.resize(pad_elems * items, C64::ZERO);
-            }
-            buf
-        })
-        .collect()
+        }
+        if plan.opts.backend == CommBackend::AllToAll {
+            buf.resize(pad_elems * items, C64::ZERO);
+        }
+        buf
+    })
 }
 
-/// Deposits received (coalesced) blocks into the new local arrays.
+/// Deposits received (coalesced) blocks into the new local arrays — the
+/// unpack kernel. Batch items are disjoint destinations, so with multiple
+/// arenas the items fan out across workers; each item replays every block
+/// in sub-comm order, making the writes identical to the serial loop.
+#[allow(clippy::too_many_arguments)]
 fn deposit_recvs(
     plan: &FftPlan,
     spec: &ReshapeSpec,
@@ -602,25 +792,25 @@ fn deposit_recvs(
     to_box: &Box3,
     recvd: &[Vec<C64>],
     new_data: &mut [Vec<C64>],
+    arenas: &mut [ExecScratch],
 ) {
     let me_world = sub.member(sub.me());
     let is_p2p = plan.opts.backend.is_p2p();
-    let items = new_data.len();
-    for (j, block) in recvd.iter().enumerate() {
-        let src_world = sub.member(j);
-        if is_p2p && src_world == me_world {
-            continue; // self block handled by the device copy
+    let units: Vec<&mut Vec<C64>> = new_data.iter_mut().collect();
+    mpisim::par::par_parts(arenas, units, |b, _, item| {
+        for (j, block) in recvd.iter().enumerate() {
+            let src_world = sub.member(j);
+            if is_p2p && src_world == me_world {
+                continue; // self block handled by the device copy
+            }
+            let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world)
+            else {
+                continue;
+            };
+            let vol = region.volume();
+            to_box.deposit(item, region, &block[b * vol..(b + 1) * vol]);
         }
-        let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world) else {
-            continue;
-        };
-        let vol = region.volume();
-        for (b, item) in new_data.iter_mut().enumerate() {
-            let slice = &block[b * vol..(b + 1) * vol];
-            to_box.deposit(item, region, slice);
-        }
-        let _ = items;
-    }
+    });
 }
 
 /// Runs the Alltoallw path: sub-array datatypes over the local arrays, no

@@ -189,18 +189,40 @@ impl ReshapeSpec {
 }
 
 /// Applies the local (self) part of a reshape: copies the overlap of the
-/// rank's old and new boxes row by row, with no intermediate staging buffer.
+/// rank's old and new boxes with no intermediate staging buffer.
+///
+/// Like `Box3::extract_into`/`deposit`, runs are coalesced: when the
+/// overlap spans the full fastest axis of *both* boxes, whole `j`-planes
+/// (and, if it also spans axis 1 of both, the entire overlap) collapse into
+/// single bulk copies. Slab self-blocks hit the fully-merged case.
 pub fn apply_self_block(old_box: &Box3, old_data: &[C64], new_box: &Box3, new_data: &mut [C64]) {
     let overlap = old_box.intersect(new_box);
     if overlap.is_empty() {
         return;
     }
-    let row = overlap.len(2);
+    let full = |b: &Box3, d: usize| overlap.lo[d] == b.lo[d] && overlap.hi[d] == b.hi[d];
+    let run = if full(old_box, 2) && full(new_box, 2) {
+        if full(old_box, 1) && full(new_box, 1) {
+            overlap.volume()
+        } else {
+            overlap.len(1) * overlap.len(2)
+        }
+    } else {
+        overlap.len(2)
+    };
+    let vol = overlap.volume();
+    let mut copied = 0;
     for i in overlap.lo[0]..overlap.hi[0] {
-        for j in overlap.lo[1]..overlap.hi[1] {
+        let mut j = overlap.lo[1];
+        while j < overlap.hi[1] {
             let src = old_box.local_index([i, j, overlap.lo[2]]);
             let dst = new_box.local_index([i, j, overlap.lo[2]]);
-            new_data[dst..dst + row].copy_from_slice(&old_data[src..src + row]);
+            new_data[dst..dst + run].copy_from_slice(&old_data[src..src + run]);
+            copied += run;
+            if copied >= vol {
+                return;
+            }
+            j += (run / overlap.len(2)).max(1);
         }
     }
 }
@@ -396,5 +418,46 @@ mod tests {
         assert_eq!(new[0], C64::real(32.0));
         // Global point (3,1,2): old 3*16+1*4+2 = 54; new (1,1,2) = 16+4+2 = 22.
         assert_eq!(new[22], C64::real(54.0));
+    }
+
+    #[test]
+    fn apply_self_block_coalescing_matches_pointwise_copy() {
+        // Exercise every run-coalescing tier: fully merged (slab↔slab),
+        // plane-merged (shared fastest axis), and per-row (pencil overlap
+        // that spans neither box's fast axis fully).
+        let cases = [
+            (
+                Box3::new([0, 0, 0], [4, 6, 5]),
+                Box3::new([2, 0, 0], [7, 6, 5]),
+            ),
+            (
+                Box3::new([0, 0, 0], [4, 6, 5]),
+                Box3::new([0, 3, 0], [4, 9, 5]),
+            ),
+            (
+                Box3::new([0, 0, 0], [4, 6, 5]),
+                Box3::new([1, 2, 2], [5, 8, 9]),
+            ),
+        ];
+        for (old_box, new_box) in cases {
+            let old: Vec<C64> = (0..old_box.volume())
+                .map(|i| C64::new(i as f64, -(i as f64)))
+                .collect();
+            let mut got = vec![C64::ZERO; new_box.volume()];
+            apply_self_block(&old_box, &old, &new_box, &mut got);
+
+            // Pointwise reference.
+            let mut expect = vec![C64::ZERO; new_box.volume()];
+            let overlap = old_box.intersect(&new_box);
+            for i in overlap.lo[0]..overlap.hi[0] {
+                for j in overlap.lo[1]..overlap.hi[1] {
+                    for k in overlap.lo[2]..overlap.hi[2] {
+                        expect[new_box.local_index([i, j, k])] =
+                            old[old_box.local_index([i, j, k])];
+                    }
+                }
+            }
+            assert_eq!(got, expect, "old={old_box:?} new={new_box:?}");
+        }
     }
 }

@@ -1,13 +1,14 @@
 //! Bluestein's chirp-z algorithm for arbitrary transform sizes.
 //!
 //! Expresses a DFT of any length `N` (prime included) as a circular
-//! convolution of length `M ≥ 2N-1` with `M` a power of two, so the radix-2
-//! engine does all the heavy lifting. This keeps the local FFT engine total:
-//! any grid dimension a user asks for is supported, like FFTW.
+//! convolution of length `M ≥ 2N-1` with `M` a power of two, so the
+//! power-of-two engine (Stockham autosort) does all the heavy lifting. This
+//! keeps the local FFT engine total: any grid dimension a user asks for is
+//! supported, like FFTW.
 
 use crate::complex::C64;
 use crate::plan::Direction;
-use crate::radix::Radix2Plan;
+use crate::stockham::StockhamPlan;
 
 /// Precomputed state for an arbitrary-size transform.
 #[derive(Debug, Clone)]
@@ -21,7 +22,7 @@ pub struct BluesteinPlan {
     kernel_fwd: Vec<C64>,
     /// Inverse-direction kernel (chirp conjugated).
     kernel_inv: Vec<C64>,
-    inner: Radix2Plan,
+    inner: StockhamPlan,
 }
 
 impl BluesteinPlan {
@@ -29,7 +30,7 @@ impl BluesteinPlan {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "BluesteinPlan requires n >= 1");
         let m = (2 * n - 1).next_power_of_two();
-        let inner = Radix2Plan::new(m);
+        let inner = StockhamPlan::new(m);
 
         // chirp[j] = e^{-iπ j²/n}. Reduce j² modulo 2n so the phase argument
         // stays small and well-conditioned even for large n.
@@ -82,18 +83,29 @@ impl BluesteinPlan {
         self.m
     }
 
+    /// Scratch elements [`execute_with_scratch`] needs: the convolution
+    /// buffer plus the inner Stockham ping-pong buffer (`2·conv_len`).
+    ///
+    /// [`execute_with_scratch`]: BluesteinPlan::execute_with_scratch
+    pub fn scratch_elems(&self) -> usize {
+        2 * self.m
+    }
+
     /// In-place unnormalized transform of `data` (length must equal `n`).
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
-        let mut scratch = vec![C64::ZERO; self.m];
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
         self.execute_with_scratch(data, dir, &mut scratch);
     }
 
-    /// In-place transform reusing a caller-provided convolution buffer of
-    /// at least [`conv_len`](BluesteinPlan::conv_len) elements — avoids the
+    /// In-place transform reusing a caller-provided buffer of at least
+    /// [`scratch_elems`](BluesteinPlan::scratch_elems) elements — avoids the
     /// per-row allocation in batched executions.
     pub fn execute_with_scratch(&self, data: &mut [C64], dir: Direction, scratch: &mut [C64]) {
         assert_eq!(data.len(), self.n);
-        assert!(scratch.len() >= self.m, "scratch smaller than conv_len");
+        assert!(
+            scratch.len() >= self.scratch_elems(),
+            "scratch smaller than 2*conv_len"
+        );
         if self.n == 1 {
             return;
         }
@@ -105,7 +117,7 @@ impl BluesteinPlan {
         };
 
         // a[j] = x[j] · chirp[j]  (conjugated chirp for the inverse).
-        let a: &mut [C64] = &mut scratch[..self.m];
+        let (a, work) = scratch[..2 * self.m].split_at_mut(self.m);
         for v in a.iter_mut() {
             *v = C64::ZERO;
         }
@@ -118,12 +130,12 @@ impl BluesteinPlan {
             a[j] = data[j] * c;
         }
 
-        // Circular convolution via the radix-2 engine.
-        self.inner.execute(a, Direction::Forward);
+        // Circular convolution via the Stockham engine.
+        self.inner.execute_scratch(a, Direction::Forward, work);
         for (av, kv) in a.iter_mut().zip(kernel) {
             *av *= *kv;
         }
-        self.inner.execute(a, Direction::Inverse);
+        self.inner.execute_scratch(a, Direction::Inverse, work);
         let scale = 1.0 / self.m as f64;
 
         // X[k] = chirp[k] · conv[k] / m.

@@ -15,6 +15,10 @@
 //!   *contiguous (transposed)* and *strided* local-FFT modes of the paper
 //!   (Figs. 6, 7, 10) are expressible.
 //! * [`Plan2d`] / [`Plan3d`] — local multi-dimensional transforms.
+//! * [`StockhamPlan`] — the power-of-two workhorse: a Stockham autosort
+//!   engine with radix-4/8 butterflies and no bit-reversal pass, selected by
+//!   default ([`Engine::Auto`]); the scalar radix-2 path survives as
+//!   [`Engine::Legacy`] for reference and A/B benchmarking.
 //! * Mixed-radix Cooley–Tukey for smooth sizes and Bluestein's chirp-z
 //!   algorithm for arbitrary (including prime) sizes.
 //! * [`real`] — real-to-complex / complex-to-real transforms via the
@@ -37,12 +41,14 @@ pub mod nd;
 pub mod plan;
 pub mod radix;
 pub mod real;
+pub mod stockham;
 pub mod twiddle;
 
 pub use cache::{plan_cache, PlanCache};
 pub use complex::C64;
 pub use kernel_model::{GpuModel, KernelTimeModel, LayoutKind};
-pub use plan::{Direction, Plan1d, Plan2d, Plan3d};
+pub use plan::{Direction, Engine, Plan1d, Plan2d, Plan3d};
+pub use stockham::StockhamPlan;
 
 /// Returns true if `n` factors entirely into 2, 3, 5 and 7 — the sizes the
 /// mixed-radix path handles without Bluestein.

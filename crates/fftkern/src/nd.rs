@@ -1,22 +1,29 @@
 //! Convenience entry points and spectral utilities over whole arrays.
+//!
+//! The one-shot helpers route through the process-wide [`plan_cache`]: the
+//! first call for a shape builds (and interns) the plan, every later call
+//! for the same shape is a map lookup. Repeated ad-hoc transforms — test
+//! oracles, spectral post-processing loops — get warm-path cost without
+//! threading a plan handle around.
 
+use crate::cache::plan_cache;
 use crate::complex::C64;
-use crate::plan::{Direction, Plan1d, Plan2d, Plan3d};
+use crate::plan::Direction;
 
-/// One-shot in-place 1-D transform (builds a throwaway plan).
+/// One-shot in-place 1-D transform (plan served by the global cache).
 pub fn fft_1d(data: &mut [C64], dir: Direction) {
-    let plan = Plan1d::contiguous(data.len(), 1);
+    let plan = plan_cache().plan1d_contiguous(data.len(), 1);
     plan.execute_inplace(data, dir);
 }
 
 /// One-shot in-place 2-D transform of a row-major `n0 × n1` array.
 pub fn fft_2d(data: &mut [C64], n0: usize, n1: usize, dir: Direction) {
-    Plan2d::new(n0, n1).execute(data, dir);
+    plan_cache().plan2d(n0, n1).execute(data, dir);
 }
 
 /// One-shot in-place 3-D transform of a row-major `n0 × n1 × n2` array.
 pub fn fft_3d(data: &mut [C64], n0: usize, n1: usize, n2: usize, dir: Direction) {
-    Plan3d::new(n0, n1, n2).execute(data, dir);
+    plan_cache().plan3d(n0, n1, n2).execute(data, dir);
 }
 
 /// Applies the `1/N` normalization that turns the unnormalized inverse into a

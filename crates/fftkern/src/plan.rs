@@ -10,6 +10,17 @@ use crate::bluestein::BluesteinPlan;
 use crate::complex::C64;
 use crate::mixed::MixedPlan;
 use crate::radix::Radix2Plan;
+use crate::stockham::StockhamPlan;
+
+/// Maximum lines transformed per cache tile in the blocked strided path. 64
+/// rows of 16-byte elements keep a gather column inside one 4 KiB page worth
+/// of writes while the reads stay perfectly sequential.
+const TILE_LINES: usize = 64;
+
+/// Target tile footprint in elements (~64 KiB of complex doubles): large
+/// enough to amortize the transpose, small enough that the whole tile stays
+/// L1/L2-resident from gather through transform to scatter.
+const TILE_TARGET_ELEMS: usize = 4096;
 
 /// Transform direction. Both are unnormalized (cuFFT/FFTW convention): a
 /// forward followed by an inverse multiplies the data by `N`.
@@ -41,18 +52,50 @@ impl Direction {
     }
 }
 
+/// Which kernel engine a plan builds on — the FFTW-style "planner" knob.
+///
+/// `Auto` is the production engine; `Legacy` pins the pre-overhaul scalar
+/// radix-2 path (bit-reversal permutation, per-line gather/scatter) so
+/// benchmarks and tests can A/B the engine overhaul against a faithful
+/// baseline instead of a synthetic slowdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Planner's choice: Stockham autosort (radix-8/4/2) for powers of two,
+    /// mixed-radix for smooth sizes, Bluestein otherwise — with cache-blocked
+    /// batched/strided execution.
+    #[default]
+    Auto,
+    /// The seed engine: scalar radix-2 Cooley–Tukey with a bit-reversal pass
+    /// and per-line gather/scatter, kept as reference and benchmark baseline.
+    Legacy,
+}
+
+impl Engine {
+    /// Short name for traces and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Auto => "auto",
+            Engine::Legacy => "legacy",
+        }
+    }
+}
+
 /// Algorithm selected for a given length.
 #[derive(Debug, Clone)]
 enum Algo {
+    Stockham(StockhamPlan),
     Radix2(Radix2Plan),
     Mixed(MixedPlan),
     Bluestein(BluesteinPlan),
 }
 
 impl Algo {
-    fn for_len(n: usize) -> Algo {
+    fn for_len(n: usize, engine: Engine) -> Algo {
         if n.is_power_of_two() {
-            Algo::Radix2(Radix2Plan::new(n))
+            match engine {
+                Engine::Auto => Algo::Stockham(StockhamPlan::new(n)),
+                Engine::Legacy => Algo::Radix2(Radix2Plan::new(n)),
+            }
         } else if crate::is_smooth(n) {
             Algo::Mixed(MixedPlan::new(n))
         } else {
@@ -64,9 +107,10 @@ impl Algo {
     /// `(out_buf, aux_buf)`.
     fn scratch_len(&self) -> (usize, usize) {
         match self {
+            Algo::Stockham(p) => (p.scratch_elems(), 0),
             Algo::Radix2(_) => (0, 0),
             Algo::Mixed(p) => (p.len(), p.len()),
-            Algo::Bluestein(p) => (p.conv_len(), 0),
+            Algo::Bluestein(p) => (p.scratch_elems(), 0),
         }
     }
 
@@ -75,6 +119,7 @@ impl Algo {
     /// matters in batched executions of non-power-of-two lengths.
     fn execute_scratch(&self, data: &mut [C64], dir: Direction, a: &mut [C64], b: &mut [C64]) {
         match self {
+            Algo::Stockham(p) => p.execute_scratch(data, dir, a),
             Algo::Radix2(p) => p.execute(data, dir),
             Algo::Mixed(p) => {
                 p.execute_strided(data, 1, a, b, dir);
@@ -86,6 +131,7 @@ impl Algo {
 
     fn name(&self) -> &'static str {
         match self {
+            Algo::Stockham(_) => "stockham",
             Algo::Radix2(_) => "radix2",
             Algo::Mixed(_) => "mixed-radix",
             Algo::Bluestein(_) => "bluestein",
@@ -142,20 +188,34 @@ pub struct Plan1d {
     batch: usize,
     input: Layout,
     output: Layout,
+    engine: Engine,
     algo: Algo,
 }
 
 impl Plan1d {
     /// Builds a plan for `batch` transforms of length `n` with explicit
-    /// input/output layouts.
+    /// input/output layouts, using the default [`Engine::Auto`].
     pub fn with_layout(n: usize, batch: usize, input: Layout, output: Layout) -> Plan1d {
+        Plan1d::with_engine(n, batch, input, output, Engine::Auto)
+    }
+
+    /// Builds a plan with an explicit kernel engine. [`Engine::Legacy`]
+    /// reproduces the pre-overhaul scalar path (reference/benchmark baseline).
+    pub fn with_engine(
+        n: usize,
+        batch: usize,
+        input: Layout,
+        output: Layout,
+        engine: Engine,
+    ) -> Plan1d {
         assert!(n > 0, "transform length must be positive");
         Plan1d {
             n,
             batch,
             input,
             output,
-            algo: Algo::for_len(n),
+            engine,
+            algo: Algo::for_len(n, engine),
         }
     }
 
@@ -194,6 +254,22 @@ impl Plan1d {
         self.algo.name()
     }
 
+    /// Kernel engine this plan was built with.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Lines per cache tile in the blocked strided path: `TILE_LINES` capped
+    /// by the batch (and at least 1, so the tile doubles as the row buffer
+    /// of the general gather/scatter path).
+    fn tile_lines(&self) -> usize {
+        // Adapt the tile to the transform length so gather → transform →
+        // scatter all run against a cache-resident tile: lines × n × 16 B
+        // stays around 64 KiB (L1-ish), between 4 and TILE_LINES lines.
+        let fit = (TILE_TARGET_ELEMS / self.n.max(1)).clamp(4, TILE_LINES);
+        fit.min(self.batch.max(1))
+    }
+
     /// Minimum input buffer length required by the layout.
     pub fn required_input_len(&self) -> usize {
         if self.batch == 0 {
@@ -211,10 +287,11 @@ impl Plan1d {
     }
 
     /// Number of scratch elements the `_scratch` execution variants need:
-    /// enough for the algorithm's work buffers plus one gathered row.
+    /// the algorithm's work buffers plus one gather/scatter tile (which also
+    /// serves as the row buffer of the unblocked fallback path).
     pub fn scratch_elems(&self) -> usize {
         let (la, lb) = self.algo.scratch_len();
-        la + lb + self.n
+        la + lb + self.tile_lines() * self.n
     }
 
     /// Executes the batch out of place.
@@ -245,7 +322,34 @@ impl Plan1d {
             output.len(),
             self.required_output_len()
         );
-        let (sa, sb, row) = self.split_scratch(scratch);
+        let (sa, sb, tile) = self.split_scratch(scratch);
+        if self.engine != Engine::Legacy {
+            if self.packed_rows() {
+                // Contiguous rows in and out: copy each row once, transform
+                // it in place in the output buffer — no gather/scatter.
+                for b in 0..self.batch {
+                    let row = &mut output[b * self.n..(b + 1) * self.n];
+                    row.copy_from_slice(&input[b * self.n..(b + 1) * self.n]);
+                    self.algo.execute_scratch(row, dir, sa, sb);
+                }
+                return;
+            }
+            if self.tileable() {
+                let t_lines = self.tile_lines();
+                let mut lo = 0;
+                while lo < self.batch {
+                    let t = t_lines.min(self.batch - lo);
+                    gather_tile(input, self.input.stride, lo, t, self.n, tile);
+                    for r in tile[..t * self.n].chunks_exact_mut(self.n) {
+                        self.algo.execute_scratch(r, dir, sa, sb);
+                    }
+                    scatter_tile(output, self.output.stride, lo, t, self.n, tile);
+                    lo += t;
+                }
+                return;
+            }
+        }
+        let row = &mut tile[..self.n];
         for b in 0..self.batch {
             let ibase = b * self.input.dist;
             for (j, r) in row.iter_mut().enumerate() {
@@ -274,7 +378,33 @@ impl Plan1d {
             data.len() >= self.required_input_len().max(self.required_output_len()),
             "buffer too small for in-place batch"
         );
-        let (sa, sb, row) = self.split_scratch(scratch);
+        let (sa, sb, tile) = self.split_scratch(scratch);
+        if self.engine != Engine::Legacy {
+            if self.packed_rows() {
+                // Packed contiguous rows transform directly in place — the
+                // whole batch runs with zero data movement beyond the
+                // butterflies themselves.
+                for row in data[..self.batch * self.n].chunks_exact_mut(self.n) {
+                    self.algo.execute_scratch(row, dir, sa, sb);
+                }
+                return;
+            }
+            if self.tileable() {
+                let t_lines = self.tile_lines();
+                let mut lo = 0;
+                while lo < self.batch {
+                    let t = t_lines.min(self.batch - lo);
+                    gather_tile(data, self.input.stride, lo, t, self.n, tile);
+                    for r in tile[..t * self.n].chunks_exact_mut(self.n) {
+                        self.algo.execute_scratch(r, dir, sa, sb);
+                    }
+                    scatter_tile(data, self.output.stride, lo, t, self.n, tile);
+                    lo += t;
+                }
+                return;
+            }
+        }
+        let row = &mut tile[..self.n];
         for b in 0..self.batch {
             let ibase = b * self.input.dist;
             for (j, r) in row.iter_mut().enumerate() {
@@ -288,7 +418,25 @@ impl Plan1d {
         }
     }
 
-    /// Splits caller scratch into the algorithm buffers and the row buffer.
+    /// True when input and output are both packed contiguous rows — the
+    /// zero-copy fast path.
+    fn packed_rows(&self) -> bool {
+        self.input.is_contiguous()
+            && self.output.is_contiguous()
+            && self.input.dist == self.n
+            && self.output.dist == self.n
+    }
+
+    /// True when both layouts are the classic transposed access (`dist == 1`,
+    /// columns `stride` apart, non-overlapping) — the blocked tile path.
+    fn tileable(&self) -> bool {
+        self.input.dist == 1
+            && self.output.dist == 1
+            && self.input.stride >= self.batch
+            && self.output.stride >= self.batch
+    }
+
+    /// Splits caller scratch into the algorithm buffers and the tile buffer.
     fn split_scratch<'s>(
         &self,
         scratch: &'s mut [C64],
@@ -302,7 +450,33 @@ impl Plan1d {
         let (la, lb) = self.algo.scratch_len();
         let (sa, rest) = scratch.split_at_mut(la);
         let (sb, rest) = rest.split_at_mut(lb);
-        (sa, sb, &mut rest[..self.n])
+        (sa, sb, &mut rest[..self.tile_lines() * self.n])
+    }
+}
+
+/// Copies lines `lo..lo+t` of a `dist == 1` layout into `tile` as `t`
+/// contiguous rows of length `n`. The source walk is sequential per element
+/// index `j` (one contiguous read of `t` elements), so the strided side of
+/// the transpose happens in the cache-resident tile, not in main memory
+/// (the tile is sized by `tile_lines` to stay L1-resident).
+fn gather_tile(src: &[C64], stride: usize, lo: usize, t: usize, n: usize, tile: &mut [C64]) {
+    for j in 0..n {
+        let base = j * stride + lo;
+        for (ti, v) in src[base..base + t].iter().enumerate() {
+            tile[ti * n + j] = *v;
+        }
+    }
+}
+
+/// Inverse of [`gather_tile`]: writes `t` tile rows back to lines
+/// `lo..lo+t` of a `dist == 1` layout with one contiguous store per element
+/// index.
+fn scatter_tile(dst: &mut [C64], stride: usize, lo: usize, t: usize, n: usize, tile: &[C64]) {
+    for j in 0..n {
+        let base = j * stride + lo;
+        for (ti, slot) in dst[base..base + t].iter_mut().enumerate() {
+            *slot = tile[ti * n + j];
+        }
     }
 }
 
@@ -454,9 +628,50 @@ mod tests {
 
     #[test]
     fn algorithm_selection() {
-        assert_eq!(Plan1d::contiguous(64, 1).algo_name(), "radix2");
+        assert_eq!(Plan1d::contiguous(64, 1).algo_name(), "stockham");
         assert_eq!(Plan1d::contiguous(60, 1).algo_name(), "mixed-radix");
         assert_eq!(Plan1d::contiguous(13, 1).algo_name(), "bluestein");
+        let legacy = Plan1d::with_engine(
+            64,
+            1,
+            Layout::contiguous(64),
+            Layout::contiguous(64),
+            Engine::Legacy,
+        );
+        assert_eq!(legacy.algo_name(), "radix2");
+        assert_eq!(legacy.engine(), Engine::Legacy);
+        assert_eq!(Plan1d::contiguous(64, 1).engine(), Engine::Auto);
+        assert_eq!(Engine::Auto.name(), "auto");
+        assert_eq!(Engine::Legacy.name(), "legacy");
+    }
+
+    #[test]
+    fn engines_agree_on_strided_batches() {
+        // Exercises the blocked tile path (batch > TILE_LINES) against the
+        // legacy per-line gather/scatter on the same transposed layout.
+        let (n, batch) = (16usize, 100usize);
+        let layout = Layout::strided(batch);
+        let auto = Plan1d::with_layout(n, batch, layout, layout);
+        let legacy = Plan1d::with_engine(n, batch, layout, layout, Engine::Legacy);
+        let x = signal(n * batch);
+        let mut a = x.clone();
+        let mut b = x;
+        auto.execute_inplace(&mut a, Direction::Forward);
+        legacy.execute_inplace(&mut b, Direction::Forward);
+        assert!(max_abs_diff(&a, &b) < 1e-9 * (n * batch) as f64);
+    }
+
+    #[test]
+    fn out_of_place_tiled_matches_inplace() {
+        let (n, batch) = (32usize, 70usize);
+        let layout = Layout::strided(batch);
+        let plan = Plan1d::with_layout(n, batch, layout, layout);
+        let x = signal(n * batch);
+        let mut out = vec![C64::ZERO; n * batch];
+        plan.execute(&x, &mut out, Direction::Forward);
+        let mut inplace = x;
+        plan.execute_inplace(&mut inplace, Direction::Forward);
+        assert!(max_abs_diff(&out, &inplace) == 0.0);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Iterative radix-2 Cooley–Tukey transform for power-of-two sizes.
 //!
-//! This is the workhorse used directly for power-of-two lengths (all of the
-//! paper's experiments use 512³ or 64³ grids) and as the convolution engine
-//! inside Bluestein's algorithm for awkward lengths.
+//! Since the kernel-engine overhaul this is the **legacy reference
+//! engine**: the hot path for power-of-two lengths is the Stockham
+//! autosort kernel in [`stockham`](crate::stockham) (radix-8/4/2, no
+//! bit-reversal pass), which Bluestein's algorithm also uses for its inner
+//! convolutions. `Radix2Plan` is kept bit-exact as the seed baseline —
+//! selected by `Engine::Legacy` — so equivalence tests and A/B benchmarks
+//! compare the overhaul against the real original code, not a synthetic
+//! slowdown.
 
 use crate::complex::C64;
 use crate::plan::Direction;

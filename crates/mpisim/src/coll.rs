@@ -22,7 +22,21 @@ fn net_params<'a>(rank: &Rank<'a>) -> NetParams<'a> {
         spec: w.spec(),
         seed: w.opts().seed,
         noise_amp: w.opts().noise_amplitude,
+        memo: w.opts().sched_memo.then(|| w.sched_memo()),
     }
+}
+
+// Schedule-memo collective discriminants (see `pattern::memo_exits`).
+const MEMO_ALLTOALL: u8 = 1;
+const MEMO_ALLTOALLV: u8 = 2;
+const MEMO_ALLTOALLW: u8 = 3;
+const MEMO_P2P: u8 = 4;
+const MEMO_BARRIER: u8 = 5;
+const MEMO_ALLGATHER: u8 = 6;
+
+/// Flattens a byte matrix into a memo signature.
+fn matrix_sig(matrix: &[Vec<usize>]) -> Vec<usize> {
+    matrix.iter().flat_map(|row| row.iter().copied()).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -75,16 +89,27 @@ pub fn alltoall_exit_times(
         "mpisim.bytes.alltoall",
         (bytes_per_pair * group.len() * group.len()) as u64,
     );
-    let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
-    match distro.alltoall_algo(bytes_per_pair) {
-        AlltoallAlgo::Pairwise => {
-            pattern::pairwise_times(np, env, group, &entries, &|_, _| bytes_per_pair, 0)
-        }
-        AlltoallAlgo::Bruck => {
-            let totals: Vec<usize> = vec![bytes_per_pair * group.len(); group.len()];
-            pattern::bruck_times(np, env, group, &entries, &totals)
-        }
-    }
+    let sig = vec![bytes_per_pair];
+    pattern::memo_exits(
+        np,
+        env,
+        (MEMO_ALLTOALL, distro as u64),
+        group,
+        entries,
+        sig,
+        || {
+            let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
+            match distro.alltoall_algo(bytes_per_pair) {
+                AlltoallAlgo::Pairwise => {
+                    pattern::pairwise_times(np, env, group, &entries, &|_, _| bytes_per_pair, 0)
+                }
+                AlltoallAlgo::Bruck => {
+                    let totals: Vec<usize> = vec![bytes_per_pair * group.len(); group.len()];
+                    pattern::bruck_times(np, env, group, &entries, &totals)
+                }
+            }
+        },
+    )
 }
 
 /// Exit times of `MPI_Alltoallv`: the basic-linear algorithm (post every
@@ -99,17 +124,27 @@ pub fn alltoallv_exit_times(
 ) -> Vec<SimTime> {
     fftobs::count("mpisim.calls.alltoallv", 1);
     fftobs::count("mpisim.bytes.alltoallv", matrix_bytes(matrix));
-    let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
-    pattern::scatter_times(
+    pattern::memo_exits(
         np,
         env,
+        (MEMO_ALLTOALLV, 0),
         group,
-        &entries,
-        &|i, j| matrix[i][j],
-        P2pFlavor::NonBlocking,
-        true,
-        &|_, _| 0,
-        &|_, _| 0,
+        entries,
+        matrix_sig(matrix),
+        || {
+            let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
+            pattern::scatter_times(
+                np,
+                env,
+                group,
+                &entries,
+                &|i, j| matrix[i][j],
+                P2pFlavor::NonBlocking,
+                true,
+                &|_, _| 0,
+                &|_, _| 0,
+            )
+        },
     )
 }
 
@@ -130,17 +165,28 @@ pub fn alltoallw_exit_times(
     eff_env.gpu_aware = env.gpu_aware && distro.alltoallw_gpu_aware();
     let (setup_ns, pack_gbs) = distro.alltoallw_dtype_cost();
     let dtype_cost = move |bytes: usize| setup_ns + (bytes as f64 / pack_gbs).ceil() as u64;
-    let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
-    pattern::scatter_times(
+    let sig = matrix_sig(matrix);
+    pattern::memo_exits(
         np,
         &eff_env,
+        (MEMO_ALLTOALLW, distro as u64),
         group,
-        &entries,
-        &|i, j| matrix[i][j],
-        P2pFlavor::NonBlocking,
-        true,
-        &|i, j| dtype_cost(matrix[i][j]),
-        &|i, j| dtype_cost(matrix[i][j]),
+        entries,
+        sig,
+        || {
+            let entries = shifted(entries, coll_setup_ns(group.len()) + call_sync_ns(np));
+            pattern::scatter_times(
+                np,
+                &eff_env,
+                group,
+                &entries,
+                &|i, j| matrix[i][j],
+                P2pFlavor::NonBlocking,
+                true,
+                &|i, j| dtype_cost(matrix[i][j]),
+                &|i, j| dtype_cost(matrix[i][j]),
+            )
+        },
     )
 }
 
@@ -175,30 +221,62 @@ pub fn p2p_exchange_exit_times(
             0
         }
     };
-    let entries = shifted(entries, call_sync_ns(np));
-    pattern::scatter_times(
-        np,
-        env,
-        group,
-        &entries,
-        &|i, j| matrix[i][j],
-        flavor,
-        false, // heFFTe's hand-written loop skips empty pairs
-        &extra_send,
-        &|_, _| 0,
-    )
+    let flavor_tag = match flavor {
+        P2pFlavor::Blocking => 0u64,
+        P2pFlavor::NonBlocking => 1u64,
+    };
+    let sig = matrix_sig(matrix);
+    pattern::memo_exits(np, env, (MEMO_P2P, flavor_tag), group, entries, sig, || {
+        let entries = shifted(entries, call_sync_ns(np));
+        pattern::scatter_times(
+            np,
+            env,
+            group,
+            &entries,
+            &|i, j| matrix[i][j],
+            flavor,
+            false, // heFFTe's hand-written loop skips empty pairs
+            &extra_send,
+            &|_, _| 0,
+        )
+    })
 }
 
-/// Gathers (entry time, per-destination byte counts) from every member.
-fn gather_meta(
+/// Moves the data payloads with `(entry time, byte row)` metadata fused
+/// onto every message, in one control-plane rendezvous. Every member sends
+/// to every member anyway, so the metadata that the old separate
+/// `control_allgather` round carried rides along for free — halving the
+/// wake/sleep traffic per collective. Returns (entries, byte matrix,
+/// received payloads), all indexed by member.
+#[allow(clippy::type_complexity)]
+fn fused_exchange<T: Send + 'static>(
     rank: &mut Rank,
     comm: &Comm,
     my_bytes_row: Vec<usize>,
-) -> (Vec<SimTime>, Vec<Vec<usize>>) {
-    let meta = comm.control_allgather(rank, (rank.now().as_ns(), my_bytes_row));
-    let entries = meta.iter().map(|(t, _)| SimTime::from_ns(*t)).collect();
-    let matrix = meta.into_iter().map(|(_, row)| row).collect();
-    (entries, matrix)
+    sends: Vec<Vec<T>>,
+) -> (Vec<SimTime>, Vec<Vec<usize>>, Vec<Vec<T>>) {
+    if !rank.world().opts().fused_meta {
+        // Pre-overhaul two-round exchange: a metadata allgather followed by
+        // the data rendezvous. Kept selectable for A/B benchmarks.
+        let meta = comm.control_allgather(rank, (rank.now().as_ns(), my_bytes_row));
+        let entries = meta.iter().map(|(t, _)| SimTime::from_ns(*t)).collect();
+        let matrix = meta.into_iter().map(|(_, row)| row).collect();
+        let recvd = comm.control_exchange(rank, sends);
+        return (entries, matrix, recvd);
+    }
+    let meta = (rank.now().as_ns(), my_bytes_row);
+    let combined: Vec<((u64, Vec<usize>), Vec<T>)> =
+        sends.into_iter().map(|s| (meta.clone(), s)).collect();
+    let recvd = comm.control_exchange(rank, combined);
+    let mut entries = Vec::with_capacity(recvd.len());
+    let mut matrix = Vec::with_capacity(recvd.len());
+    let mut data = Vec::with_capacity(recvd.len());
+    for ((entry_ns, row), payload) in recvd {
+        entries.push(SimTime::from_ns(entry_ns));
+        matrix.push(row);
+        data.push(payload);
+    }
+    (entries, matrix, data)
 }
 
 /// `MPI_Alltoallv`: variable per-pair payloads, basic-linear schedule (post
@@ -214,10 +292,9 @@ pub fn alltoallv<T: Copy + Send + 'static>(
     assert_eq!(sends.len(), comm.size(), "one send buffer per member");
     let elem = std::mem::size_of::<T>();
     let row: Vec<usize> = sends.iter().map(|s| s.len() * elem).collect();
-    let (entries, matrix) = gather_meta(rank, comm, row);
+    let (entries, matrix, recvd) = fused_exchange(rank, comm, row, sends);
     let np = net_params(rank);
     let exits = alltoallv_exit_times(&np, &env, comm.members(), &entries, &matrix);
-    let recvd = comm.control_exchange(rank, sends);
     rank.clock.sync_to(exits[comm.me()]);
     recvd
 }
@@ -242,7 +319,7 @@ pub fn alltoall<T: Copy + Send + 'static>(
     );
     let bytes_per_pair = block * elem;
     let row: Vec<usize> = vec![bytes_per_pair; comm.size()];
-    let (entries, _matrix) = gather_meta(rank, comm, row);
+    let (entries, _matrix, recvd) = fused_exchange(rank, comm, row, sends);
     let np = net_params(rank);
     let exits = alltoall_exit_times(
         &np,
@@ -252,7 +329,6 @@ pub fn alltoall<T: Copy + Send + 'static>(
         &entries,
         bytes_per_pair,
     );
-    let recvd = comm.control_exchange(rank, sends);
     rank.clock.sync_to(exits[comm.me()]);
     recvd
 }
@@ -281,13 +357,13 @@ pub fn alltoallw<T: Copy + Send + 'static>(
     let distro = rank.world().opts().distro;
 
     let row: Vec<usize> = send_types.iter().map(|t| t.elem_count() * elem).collect();
-    let (entries, matrix) = gather_meta(rank, comm, row);
+    // Functional data movement: MPI packs/unpacks the datatypes internally.
+    // Packing advances no simulated clock, so doing it before the exchange
+    // leaves every entry time unchanged.
+    let sends: Vec<Vec<T>> = send_types.iter().map(|t| t.pack(send_parent)).collect();
+    let (entries, matrix, recvd) = fused_exchange(rank, comm, row, sends);
     let np = net_params(rank);
     let exits = alltoallw_exit_times(&np, &env, distro, comm.members(), &entries, &matrix);
-
-    // Functional data movement: MPI packs/unpacks the datatypes internally.
-    let sends: Vec<Vec<T>> = send_types.iter().map(|t| t.pack(send_parent)).collect();
-    let recvd = comm.control_exchange(rank, sends);
     for (j, block) in recvd.into_iter().enumerate() {
         recv_types[j].unpack(&block, recv_parent);
     }
@@ -307,10 +383,9 @@ pub fn p2p_exchange<T: Copy + Send + 'static>(
     assert_eq!(sends.len(), comm.size(), "one send buffer per member");
     let elem = std::mem::size_of::<T>();
     let row: Vec<usize> = sends.iter().map(|s| s.len() * elem).collect();
-    let (entries, matrix) = gather_meta(rank, comm, row);
+    let (entries, matrix, recvd) = fused_exchange(rank, comm, row, sends);
     let np = net_params(rank);
     let exits = p2p_exchange_exit_times(&np, &env, comm.members(), &entries, &matrix, flavor);
-    let recvd = comm.control_exchange(rank, sends);
     rank.clock.sync_to(exits[comm.me()]);
     recvd
 }
@@ -321,7 +396,15 @@ pub fn barrier(rank: &mut Rank, comm: &Comm, env: PhaseEnv) {
     let entries_raw = comm.control_allgather(rank, rank.now().as_ns());
     let entries: Vec<SimTime> = entries_raw.into_iter().map(SimTime::from_ns).collect();
     let np = net_params(rank);
-    let exits = pattern::barrier_times(&np, &env, comm.members(), &entries);
+    let exits = pattern::memo_exits(
+        &np,
+        &env,
+        (MEMO_BARRIER, 0),
+        comm.members(),
+        &entries,
+        Vec::new(),
+        || pattern::barrier_times(&np, &env, comm.members(), &entries),
+    );
     rank.clock.sync_to(exits[comm.me()]);
 }
 
@@ -384,7 +467,15 @@ pub fn allgather<T: Clone + Send + 'static>(
     let out = comm.control_allgather(rank, value);
     let np = net_params(rank);
     // p-1 rounds each carrying `bytes` (ring cost == pairwise cost here).
-    let exits = pattern::pairwise_times(&np, &env, comm.members(), &entries, &|_i, _j| bytes, 0);
+    let exits = pattern::memo_exits(
+        &np,
+        &env,
+        (MEMO_ALLGATHER, 0),
+        comm.members(),
+        &entries,
+        vec![bytes],
+        || pattern::pairwise_times(&np, &env, comm.members(), &entries, &|_i, _j| bytes, 0),
+    );
     rank.clock.sync_to(exits[comm.me()]);
     out
 }

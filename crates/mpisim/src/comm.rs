@@ -43,6 +43,17 @@ pub struct WorldOpts {
     /// durations on the listed ranks are multiplied by the factor; the
     /// network model is unaffected.
     pub compute_slowdown: Vec<(usize, f64)>,
+    /// Memoize collective schedule pricing across calls (see
+    /// [`crate::pattern::SchedMemo`]). Simulated times are identical either
+    /// way; disabling exists so A/B benchmarks can reproduce the
+    /// pre-memoization executor's wall-clock cost.
+    pub sched_memo: bool,
+    /// Fuse the (entry time, byte row) metadata round of each data
+    /// collective onto the data messages themselves (one rendezvous per
+    /// collective instead of two). Results and simulated times are
+    /// identical either way; disabling exists for pre-overhaul A/B
+    /// benchmarks.
+    pub fused_meta: bool,
 }
 
 impl Default for WorldOpts {
@@ -53,6 +64,8 @@ impl Default for WorldOpts {
             noise_amplitude: 0.0,
             seed: 0xF0F0_1234,
             compute_slowdown: Vec::new(),
+            sched_memo: true,
+            fused_meta: true,
         }
     }
 }
@@ -80,6 +93,9 @@ pub struct World {
     nranks: usize,
     mailboxes: Vec<Mailbox>,
     seq: AtomicU64,
+    /// Shared collective-schedule memo (spec/seed/noise are fixed per
+    /// world, which is what makes one memo per world sound).
+    sched_memo: crate::pattern::SchedMemo,
 }
 
 impl World {
@@ -92,7 +108,13 @@ impl World {
             nranks,
             mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
             seq: AtomicU64::new(0),
+            sched_memo: crate::pattern::SchedMemo::default(),
         }
+    }
+
+    /// The world's collective-schedule memo.
+    pub(crate) fn sched_memo(&self) -> &crate::pattern::SchedMemo {
+        &self.sched_memo
     }
 
     /// Number of ranks.
@@ -118,7 +140,8 @@ impl World {
     pub(crate) fn post(&self, dst: usize, env: Envelope) {
         let mb = &self.mailboxes[dst];
         mb.q.lock().push(env);
-        mb.cv.notify_all();
+        // Exactly one thread (the owning rank) ever waits on a mailbox.
+        mb.cv.notify_one();
     }
 
     pub(crate) fn next_seq(&self) -> u64 {
@@ -378,15 +401,7 @@ impl Comm {
         }
         let mut out: Vec<Option<T>> = vec![None; self.size()];
         out[self.my_index] = Some(value);
-        #[allow(clippy::needless_range_loop)] // i is a member index, not just a vec index
-        for i in 0..self.size() {
-            if i == self.my_index {
-                continue;
-            }
-            let key = (self.id, self.member(i), tag);
-            let (v, _) = rank.recv_typed::<T>(key);
-            out[i] = Some(v);
-        }
+        self.harvest_any_order(rank, tag, &mut out);
         out.into_iter()
             .map(|v| v.expect("allgather hole"))
             .collect()
@@ -415,16 +430,38 @@ impl Comm {
         }
         let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
         out[self.my_index] = own;
-        #[allow(clippy::needless_range_loop)] // i is a member index, not just a vec index
-        for i in 0..self.size() {
-            if i == self.my_index {
-                continue;
-            }
-            let key = (self.id, self.member(i), tag);
-            let (v, _) = rank.recv_typed::<T>(key);
-            out[i] = Some(v);
-        }
+        self.harvest_any_order(rank, tag, &mut out);
         out.into_iter().map(|v| v.expect("exchange hole")).collect()
+    }
+
+    /// Collects one `tag`-keyed payload from every other member into `out`
+    /// (indexed by member), consuming messages in **arrival order** rather
+    /// than member order. Waiting for member `i` specifically while later
+    /// members' messages already sit in the mailbox would cost one spurious
+    /// sleep/wake per out-of-order arrival — on an oversubscribed host that
+    /// futex churn dominates small exchanges. The result is independent of
+    /// harvest order, so callers see identical outputs.
+    fn harvest_any_order<T: Send + 'static>(
+        &self,
+        rank: &mut Rank,
+        tag: u64,
+        out: &mut [Option<T>],
+    ) {
+        let mut pending: Vec<usize> = (0..self.size()).filter(|i| *i != self.my_index).collect();
+        let mut keys: Vec<MatchKey> = pending
+            .iter()
+            .map(|&i| (self.id, self.member(i), tag))
+            .collect();
+        while !pending.is_empty() {
+            let (ki, env) = rank.recv_matching(&keys);
+            let i = pending.swap_remove(ki);
+            keys.swap_remove(ki);
+            let payload = env
+                .payload
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("type mismatch on message from member {i}"));
+            out[i] = Some(*payload);
+        }
     }
 }
 

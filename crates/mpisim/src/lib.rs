@@ -39,6 +39,7 @@ pub mod comm;
 pub mod datatype;
 pub mod distro;
 pub mod p2p;
+pub mod par;
 pub mod pattern;
 
 pub use comm::{Comm, Rank, World, WorldOpts};

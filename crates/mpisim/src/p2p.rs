@@ -36,6 +36,9 @@ fn net_params<'a>(rank: &Rank<'a>) -> NetParams<'a> {
         spec: w.spec(),
         seed: w.opts().seed,
         noise_amp: w.opts().noise_amplitude,
+        // Point-to-point primitives price single messages; no schedule walk
+        // worth memoizing.
+        memo: None,
     }
 }
 

@@ -1,0 +1,73 @@
+//! Statically-partitioned parallel execution with per-worker state.
+//!
+//! The executor-side counterpart of `fftmodels::par`'s sweep map: the same
+//! index-ordered merge (output is byte-identical to the serial loop for any
+//! worker count), but with a *static* item→worker assignment instead of an
+//! atomic work-stealing cursor. Rank programs use it to fan local FFT and
+//! pack/unpack work across threads while keeping everything a worker
+//! accumulates in its state — scratch-pool statistics, arena high-water
+//! marks — a pure function of the workload rather than of scheduling.
+
+/// Parallel map of `f` over `items` with item `i` pinned to worker
+/// `i % states.len()`.
+///
+/// Each worker receives exclusive `&mut` access to its own `states` entry
+/// and processes its items in increasing input order; results are merged
+/// back in input order. One worker state (or ≤ 1 item) runs inline on the
+/// caller's thread. `states` must be non-empty.
+///
+/// The round-robin assignment balances heterogeneous item costs across
+/// workers and — because it is a function of `i` and `states.len()` only —
+/// makes per-worker side effects deterministic run to run.
+pub fn par_parts<S, T, R, F>(states: &mut [S], items: Vec<T>, f: F) -> Vec<R>
+where
+    S: Send,
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut S, T) -> R + Sync,
+{
+    let w = states.len();
+    assert!(w > 0, "par_parts requires at least one worker state");
+    if w == 1 || items.len() <= 1 {
+        let state = &mut states[0];
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, state, item))
+            .collect();
+    }
+
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..w).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % w].push((i, item));
+    }
+
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = states
+            .iter_mut()
+            .zip(buckets)
+            .enumerate()
+            .map(|(wi, (state, bucket))| {
+                s.builder()
+                    .name(format!("part-{wi}"))
+                    .spawn(move |_| {
+                        bucket
+                            .into_iter()
+                            .map(|(i, item)| (i, f(i, state, item)))
+                            .collect::<Vec<_>>()
+                    })
+                    .expect("failed to spawn partition worker")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+    .expect("partition scope panicked");
+
+    let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}

@@ -86,17 +86,140 @@ pub struct NetParams<'a> {
     pub seed: u64,
     /// Jitter amplitude (from `WorldOpts::noise_amplitude`).
     pub noise_amp: f64,
+    /// Optional schedule memo (see [`SchedMemo`]). `None` prices every call
+    /// from scratch; functional worlds pass their per-[`World`] memo so
+    /// steady-state iteration loops stop re-walking identical schedules.
+    pub memo: Option<&'a SchedMemo>,
 }
 
 impl<'a> NetParams<'a> {
-    /// Exact pricing (no jitter).
+    /// Exact pricing (no jitter, no memo).
     pub fn exact(spec: &'a MachineSpec) -> NetParams<'a> {
         NetParams {
             spec,
             seed: 0,
             noise_amp: 0.0,
+            memo: None,
         }
     }
+}
+
+/// Memo key for a collective's exit schedule: every input that can change
+/// the *relative* schedule. Entry times are stored relative to their
+/// minimum — all schedule walkers are time-shift invariant (asserted by the
+/// `entries_shift_exits` test), so two calls whose entries differ only by a
+/// common offset share one cached schedule. `phase_id` seeds the jitter and
+/// is folded to zero when the jitter amplitude is zero, which is what lets
+/// a steady-state transform loop (new phase id every reshape) hit.
+#[derive(PartialEq, Eq, Hash)]
+pub struct SchedKey {
+    kind: u8,
+    extra: u64,
+    gpu_aware: bool,
+    flows_per_nic: usize,
+    nodes: usize,
+    p2p_peers: usize,
+    phase_id: u64,
+    group: Vec<usize>,
+    rel_entries_ns: Vec<u64>,
+    sig: Vec<usize>,
+}
+
+/// Cache of priced collective schedules, owned by one functional `World`.
+///
+/// Pricing an exchange walks an O(p²) message schedule; in an iterated
+/// transform every rank re-walks the *identical* schedule on every call —
+/// on a p-rank world that is p redundant walks per collective per
+/// iteration. The memo stores exit times relative to the earliest entry and
+/// replays them shifted to the caller's base time.
+///
+/// A memo must never be shared across machine specs, seeds or jitter
+/// amplitudes: those inputs are deliberately absent from [`SchedKey`]
+/// because they are constant for the owning world.
+#[derive(Default)]
+pub struct SchedMemo {
+    map: parking_lot::Mutex<std::collections::HashMap<SchedKey, Vec<u64>>>,
+}
+
+impl std::fmt::Debug for SchedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedMemo({} schedules)", self.map.lock().len())
+    }
+}
+
+impl SchedMemo {
+    /// Bound on retained schedules; a full map is simply cleared (steady
+    /// state re-warms in one iteration, and values are pure so dropping
+    /// them is always safe).
+    const CAP: usize = 4096;
+
+    /// Returns the exit times for `key`, either replayed from the cache
+    /// (shifted to `base`) or computed by `compute` and cached.
+    fn exits(
+        &self,
+        key: SchedKey,
+        base: SimTime,
+        compute: impl FnOnce() -> Vec<SimTime>,
+    ) -> Vec<SimTime> {
+        if let Some(rel) = self.map.lock().get(&key) {
+            fftobs::count("mpisim.sched_memo.hits", 1);
+            return rel.iter().map(|ns| base + SimTime::from_ns(*ns)).collect();
+        }
+        fftobs::count("mpisim.sched_memo.misses", 1);
+        let abs = compute();
+        let rel: Vec<u64> = abs.iter().map(|t| t.as_ns() - base.as_ns()).collect();
+        let mut map = self.map.lock();
+        if map.len() >= SchedMemo::CAP {
+            map.clear();
+        }
+        map.insert(key, rel);
+        abs
+    }
+}
+
+/// Memoizing wrapper used by the collective exit-time functions: computes
+/// through `np.memo` when present, otherwise calls `compute` directly.
+/// `id` is `(kind, extra)`: the collective discriminant plus any algorithm
+/// knob (distro, flavor); `sig` is the byte signature (flattened matrix /
+/// block size).
+pub(crate) fn memo_exits(
+    np: &NetParams,
+    env: &PhaseEnv,
+    id: (u8, u64),
+    group: &[usize],
+    entries: &[SimTime],
+    sig: Vec<usize>,
+    compute: impl FnOnce() -> Vec<SimTime>,
+) -> Vec<SimTime> {
+    let (kind, extra) = id;
+    let Some(memo) = np.memo else {
+        return compute();
+    };
+    let Some(&first) = entries.first() else {
+        return compute();
+    };
+    let base = entries.iter().copied().fold(first, SimTime::min);
+    // Destructured so a new PhaseEnv field cannot silently escape the key.
+    let &PhaseEnv {
+        gpu_aware,
+        flows_per_nic,
+        nodes,
+        p2p_peers,
+        phase_id,
+    } = env;
+    let key = SchedKey {
+        kind,
+        extra,
+        gpu_aware,
+        flows_per_nic,
+        nodes,
+        p2p_peers,
+        phase_id: if np.noise_amp == 0.0 { 0 } else { phase_id },
+        group: group.to_vec(),
+        rel_entries_ns: entries.iter().map(|t| t.as_ns() - base.as_ns()).collect(),
+        sig,
+    };
+    memo.exits(key, base, compute)
 }
 
 /// Point-to-point schedule flavor (Fig. 7: blocking `MPI_Send` vs
@@ -550,6 +673,7 @@ mod tests {
             spec: &spec,
             seed: 99,
             noise_amp: 0.05,
+            memo: None,
         };
         let group: Vec<usize> = (0..12).collect();
         let env = PhaseEnv::quiet(true);

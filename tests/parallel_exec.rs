@@ -1,0 +1,182 @@
+//! Parallel distributed executor properties (ISSUE 4 satellite).
+//!
+//! The executor can fan local FFT and pack/unpack work across per-rank
+//! worker threads (`ExecCtx::with_threads`). Parallelism must be a pure
+//! wall-clock optimisation: for a seeded sweep of grids × decompositions ×
+//! rank counts × batches, the output must be **bit-identical** to the
+//! serial executor, and — because work unit `i` is statically pinned to
+//! worker `i % threads` — the per-worker `PoolStats` must be deterministic
+//! run to run.
+
+use distfft::boxes::Box3;
+use distfft::exec::{bind, execute, ExecCtx, PoolStats};
+use distfft::plan::{CommBackend, FftOptions, FftPlan};
+use distfft::Decomp;
+use fftkern::{Direction, C64};
+use mpisim::comm::{Comm, World, WorldOpts};
+use simgrid::MachineSpec;
+
+/// One run: `reps` forward+inverse round trips per rank through one
+/// `ExecCtx` with the given worker count. Returns, per rank, the output
+/// bits of every rep, the per-worker pool statistics, and the pooled
+/// buffer count.
+fn run_config(
+    opts: FftOptions,
+    n: [usize; 3],
+    ranks: usize,
+    threads: usize,
+    reps: usize,
+) -> Vec<(Vec<Vec<u64>>, Vec<PoolStats>, usize)> {
+    let batch = opts.batch;
+    let plan = FftPlan::build(n, ranks, opts);
+    let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
+    let whole = Box3::whole(n);
+    let global: Vec<C64> = (0..n[0] * n[1] * n[2])
+        .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()))
+        .collect();
+    world.run(|rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(&plan, rank, &comm);
+        let mut ctx = ExecCtx::with_threads(threads);
+        assert_eq!(ctx.threads(), threads.max(1));
+        let b = plan.dists[0].rank_box(rank.rank());
+        let orig = whole.extract(&global, b);
+        let mut runs = Vec::new();
+        for rep in 0..reps {
+            // Distinct data per batch item (scaled copies keep layouts easy).
+            let mut data: Vec<Vec<C64>> = (0..batch)
+                .map(|bi| orig.iter().map(|v| v.scale(1.0 + bi as f64)).collect())
+                .collect();
+            execute(
+                &plan,
+                &bound,
+                &mut ctx,
+                rank,
+                &comm,
+                &mut data,
+                Direction::Forward,
+            );
+            execute(
+                &plan,
+                &bound,
+                &mut ctx,
+                rank,
+                &comm,
+                &mut data,
+                Direction::Inverse,
+            );
+            let bits: Vec<u64> = data
+                .iter()
+                .flat_map(|item| item.iter())
+                .flat_map(|c| [c.re.to_bits(), c.im.to_bits()])
+                .collect();
+            runs.push(bits);
+            let _ = rep;
+        }
+        (runs, ctx.pool_stats_per_worker(), ctx.pooled_buffers())
+    })
+}
+
+/// Tiny deterministic generator for the seeded configuration sweep.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn parallel_output_bit_identical_to_serial_seeded_sweep() {
+    // Mix of grids above and below the executor's parallel grain threshold
+    // (8192 elements per rank), so the sweep covers both the fanned-out
+    // path and the small-problem inline fallback — and the boundary.
+    let grids = [[32usize, 32, 32], [8, 12, 10], [32, 16, 16], [16, 32, 8]];
+    let decomps = [Decomp::Slabs, Decomp::Pencils, Decomp::Bricks];
+    let backends = [
+        CommBackend::AllToAll,
+        CommBackend::AllToAllV,
+        CommBackend::P2p,
+    ];
+    let rank_counts = [2usize, 4, 8];
+    let batches = [1usize, 3];
+
+    let mut seed = 0x5eed_f00d_u64;
+    for _ in 0..8 {
+        let n = grids[lcg(&mut seed) as usize % grids.len()];
+        let decomp = decomps[lcg(&mut seed) as usize % decomps.len()];
+        let backend = backends[lcg(&mut seed) as usize % backends.len()];
+        let ranks = rank_counts[lcg(&mut seed) as usize % rank_counts.len()];
+        let batch = batches[lcg(&mut seed) as usize % batches.len()];
+        let threads = 2 + (lcg(&mut seed) as usize % 3); // 2..=4
+        let opts = FftOptions {
+            decomp,
+            backend,
+            batch,
+            ..FftOptions::default()
+        };
+
+        let serial = run_config(opts.clone(), n, ranks, 1, 2);
+        let parallel = run_config(opts, n, ranks, threads, 2);
+        for (r, ((s_runs, _, _), (p_runs, _, _))) in serial.into_iter().zip(parallel).enumerate() {
+            assert_eq!(
+                s_runs, p_runs,
+                "{decomp:?}+{backend:?} n={n:?} ranks={ranks} batch={batch} \
+                 threads={threads}: rank {r} parallel output diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_worker_pool_stats_deterministic() {
+    let opts = FftOptions {
+        decomp: Decomp::Pencils,
+        backend: CommBackend::AllToAllV,
+        batch: 3,
+        ..FftOptions::default()
+    };
+    // 32³ over 4 ranks = 8192 elements per rank: at the parallel grain
+    // threshold, so pack/unpack genuinely fans out across the workers.
+    let a = run_config(opts.clone(), [32, 32, 32], 4, 3, 4);
+    let b = run_config(opts, [32, 32, 32], 4, 3, 4);
+    for (r, ((_, sa, pa), (_, sb, pb))) in a.into_iter().zip(b).enumerate() {
+        assert_eq!(sa.len(), 3, "rank {r}: expected one PoolStats per worker");
+        assert_eq!(
+            sa, sb,
+            "rank {r}: per-worker pool statistics changed between identical runs"
+        );
+        assert_eq!(pa, pb, "rank {r}: pooled buffer count nondeterministic");
+        // The parallel steady state must actually use the pool.
+        let agg: u64 = sa.iter().map(|s| s.hits).sum();
+        assert!(agg > 0, "rank {r}: parallel arenas never hit the pool");
+        // And the fan-out must be real: worker 1's arena saw pool traffic.
+        let w1 = sa[1].hits + sa[1].misses;
+        assert!(
+            w1 > 0,
+            "rank {r}: worker 1 arena idle — fan-out never engaged"
+        );
+    }
+}
+
+#[test]
+fn parallel_steady_state_never_evicts() {
+    // Round-robin recycling must keep every arena's free list balanced: a
+    // long warm run may not evict from any worker arena.
+    let opts = FftOptions {
+        decomp: Decomp::Bricks,
+        backend: CommBackend::P2p,
+        ..FftOptions::default()
+    };
+    // 32³ over 4 ranks keeps every rank above the parallel grain threshold.
+    for (r, (_, stats, _)) in run_config(opts, [32, 32, 32], 4, 4, 6)
+        .into_iter()
+        .enumerate()
+    {
+        for (w, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.evictions, 0,
+                "rank {r} worker {w}: steady-state eviction (pool churn)"
+            );
+        }
+    }
+}
