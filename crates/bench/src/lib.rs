@@ -6,6 +6,8 @@
 //! average runtime of 8 FFTs (4 forward and 4 backward), preceded by 2 FFTs
 //! to warm up"), Table III's rank ladder, and plain-text table output.
 
+#![forbid(unsafe_code)]
+
 use distfft::dryrun::{DryRunOpts, DryRunner};
 use distfft::plan::{FftOptions, FftPlan};
 use distfft::trace::Trace;

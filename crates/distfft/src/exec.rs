@@ -13,7 +13,7 @@
 //! the communication/computation overlap behind the >2× batching speedups of
 //! Fig. 13.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use fftkern::plan::Layout;
 use fftkern::{Direction, C64};
@@ -64,7 +64,7 @@ const PAR_MIN_ELEMS: usize = 8192;
 /// to the serial path and per-arena [`PoolStats`] stay deterministic.
 #[derive(Debug, Clone)]
 pub struct ExecCtx {
-    strided_seen: HashSet<(usize, usize, bool)>,
+    strided_seen: BTreeSet<(usize, usize, bool)>,
     call_counter: u64,
     /// One scratch arena per executor worker; `arenas[0]` doubles as the
     /// serial/chunk-level pool (new layouts, retired arrays).
@@ -90,7 +90,7 @@ impl ExecCtx {
     /// Fresh state with an explicit executor worker count (`.max(1)`).
     pub fn with_threads(threads: usize) -> ExecCtx {
         ExecCtx {
-            strided_seen: HashSet::new(),
+            strided_seen: BTreeSet::new(),
             call_counter: 0,
             arenas: vec![ExecScratch::default(); threads.max(1)],
             baseline: false,
@@ -161,6 +161,17 @@ impl ExecCtx {
     pub fn pool_stats_per_worker(&self) -> Vec<PoolStats> {
         self.arenas.iter().map(|a| a.stats).collect()
     }
+
+    /// Sanitizer leak counter: pool takes minus deposits across this
+    /// context's arenas. Send buffers are deposited by the *receiving*
+    /// rank's context, so a single context may legitimately be nonzero
+    /// mid-world; summed over every rank of a world after `execute`
+    /// returns, the balance must be exactly zero — anything else is a
+    /// leaked (or double-deposited) pooled buffer.
+    #[cfg(feature = "sanitize")]
+    pub fn outstanding_buffers(&self) -> i64 {
+        self.arenas.iter().map(|a| a.outstanding).sum()
+    }
 }
 
 /// Scratch-pool statistics: how the recycled-buffer free list behaved.
@@ -200,6 +211,12 @@ struct ExecScratch {
     kernel: Vec<C64>,
     /// Hit/miss/eviction accounting (see [`PoolStats`]).
     stats: PoolStats,
+    /// Sanitizer leak accounting: pool takes minus deposits. Buffers
+    /// migrate across ranks inside an exchange (a send buffer taken here is
+    /// deposited by its receiver), so the invariant is on the *world* sum:
+    /// zero after every completed `execute`.
+    #[cfg(feature = "sanitize")]
+    outstanding: i64,
 }
 
 /// Free-list bound: batch items + send/recv buffers per reshape stay well
@@ -216,6 +233,10 @@ impl ExecScratch {
     }
 
     fn take_empty(&mut self) -> Vec<C64> {
+        #[cfg(feature = "sanitize")]
+        {
+            self.outstanding += 1;
+        }
         match self.arrays.pop() {
             Some(mut buf) => {
                 self.stats.hits += 1;
@@ -240,6 +261,13 @@ impl ExecScratch {
     }
 
     fn give(&mut self, buf: Vec<C64>) {
+        // Leak accounting must see capacity-0 deposits too: a buffer taken
+        // on a miss and never grown (e.g. an empty send region) is still a
+        // matched take/deposit pair.
+        #[cfg(feature = "sanitize")]
+        {
+            self.outstanding -= 1;
+        }
         if buf.capacity() == 0 {
             // Nothing worth recycling; not an eviction.
             return;
@@ -751,6 +779,7 @@ fn build_sends(
     let me_world = sub.member(sub.me());
     let is_p2p = plan.opts.backend.is_p2p();
     let pad_elems = if plan.opts.backend == CommBackend::AllToAll {
+        // fftlint:allow(no-panic-in-lib): every world rank is placed in a group at build
         let gi = spec.group_of[me_world].expect("rank in group");
         spec.padded_block_bytes(&spec.groups[gi]) / crate::reshape::ELEM_BYTES
     } else {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # distfft — distributed multi-GPU 3-D FFT
 //!
@@ -40,6 +41,8 @@ pub mod plan;
 pub mod procgrid;
 pub mod real3d;
 pub mod reshape;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod timeline;
 pub mod trace;
 

@@ -380,6 +380,7 @@ impl FftPlan {
                 if prev.boxes == d.boxes {
                     stage_axes
                         .last_mut()
+                        // fftlint:allow(no-panic-in-lib): a stage was pushed before any merge
                         .expect("non-empty")
                         .extend(st.axes.clone());
                     continue;

@@ -174,7 +174,7 @@ impl ReshapeSpec {
     /// Builds the dense per-pair byte matrix of one group (indices are
     /// positions within `group`), for the schedule walkers.
     pub fn group_byte_matrix(&self, group: &[usize]) -> Vec<Vec<usize>> {
-        let pos: std::collections::HashMap<usize, usize> =
+        let pos: std::collections::BTreeMap<usize, usize> =
             group.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         let mut m = vec![vec![0usize; group.len()]; group.len()];
         for (i, &r) in group.iter().enumerate() {

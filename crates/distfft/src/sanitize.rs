@@ -1,0 +1,104 @@
+//! Replay digests for the runtime simulation sanitizer (compiled only with
+//! `--features sanitize`).
+//!
+//! A *replay digest* is an order-sensitive FNV-1a hash over everything a
+//! simulated run claims happened: per-rank simulated completion times, the
+//! full per-rank trace-event stream, and (for the full digest) the
+//! buffer-pool statistics. The determinism contract (DESIGN.md §12) is
+//! expressed as digest equalities:
+//!
+//! * **timing digest** — identical across executor thread counts
+//!   (`ExecCtx::with_threads(1)` vs `with_threads(4)`), across scheduler
+//!   memoization modes (`sched_memo`/`fused_meta` on vs off), across
+//!   mailbox harvest-order permutations, and across reruns. Simulated time
+//!   is a pure function of the configuration.
+//! * **full digest** — additionally folds in pool hit/miss/eviction
+//!   counts, so it is identical across reruns *and* memoization modes of
+//!   one configuration, but legitimately differs across thread counts
+//!   (each worker arena warms its own free list).
+//!
+//! The digest primitive itself lives in [`mpisim::sanitize`]; this module
+//! knows how to fold `distfft`'s run artifacts into it.
+
+use crate::exec::PoolStats;
+use crate::trace::{KernelKind, Trace, TraceEvent};
+use simgrid::SimTime;
+
+pub use mpisim::sanitize::{set_shuffle_seed, Digest};
+
+/// Folds one rank's trace-event stream into `d`, every field of every
+/// event, in execution order.
+pub fn fold_trace(d: &mut Digest, trace: &Trace) {
+    d.u64(trace.events.len() as u64);
+    for e in &trace.events {
+        match e {
+            TraceEvent::MpiCall {
+                reshape,
+                routine,
+                start,
+                dur,
+                bytes,
+            } => {
+                d.u64(1);
+                d.u64(*reshape as u64);
+                d.bytes(routine.as_bytes());
+                d.u64(start.as_ns());
+                d.u64(dur.as_ns());
+                d.u64(*bytes as u64);
+            }
+            TraceEvent::Kernel { kind, start, dur } => {
+                d.u64(2);
+                fold_kind(d, kind);
+                d.u64(start.as_ns());
+                d.u64(dur.as_ns());
+            }
+        }
+    }
+}
+
+fn fold_kind(d: &mut Digest, kind: &KernelKind) {
+    match kind {
+        KernelKind::Fft1d { axis, contiguous } => {
+            d.u64(10);
+            d.u64(*axis as u64);
+            d.u64(*contiguous as u64);
+        }
+        KernelKind::Pack => d.u64(11),
+        KernelKind::Unpack => d.u64(12),
+        KernelKind::SelfCopy => d.u64(13),
+        KernelKind::Pointwise => d.u64(14),
+    }
+}
+
+/// Folds one rank's pool statistics into `d`.
+pub fn fold_pool(d: &mut Digest, stats: &PoolStats) {
+    d.u64(stats.hits);
+    d.u64(stats.misses);
+    d.u64(stats.evictions);
+}
+
+/// The timing digest of a world run: per-rank (completion time, trace),
+/// in rank order. Must be invariant across thread counts, memoization
+/// modes, harvest permutations, and reruns.
+pub fn timing_digest(ranks: &[(SimTime, Trace)]) -> u64 {
+    let mut d = Digest::new();
+    d.u64(ranks.len() as u64);
+    for (rank, (total, trace)) in ranks.iter().enumerate() {
+        d.u64(rank as u64);
+        d.u64(total.as_ns());
+        fold_trace(&mut d, trace);
+    }
+    d.finish()
+}
+
+/// The full digest: the timing digest plus per-rank pool statistics. Must
+/// be invariant across reruns and memoization modes of one configuration.
+pub fn full_digest(ranks: &[(SimTime, Trace)], pools: &[PoolStats]) -> u64 {
+    let mut d = Digest::new();
+    d.u64(timing_digest(ranks));
+    d.u64(pools.len() as u64);
+    for p in pools {
+        fold_pool(&mut d, p);
+    }
+    d.finish()
+}

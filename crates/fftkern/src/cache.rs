@@ -17,7 +17,7 @@
 //! (e.g. statistics in tests).
 
 use crate::plan::{Engine, Layout, Plan1d, Plan2d, Plan3d};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// The [`Engine`] is part of the key so that `Auto` (Stockham + tiled) and
 /// `Legacy` (seed radix-2) plans for the same shape coexist — A/B
 /// benchmarks can warm both without either evicting or shadowing the other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PlanKey1d {
     /// Transform length.
     pub n: usize,
@@ -43,9 +43,9 @@ pub struct PlanKey1d {
 /// Thread-safe cache of FFT plans, keyed by shape and layout.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans1d: Mutex<HashMap<PlanKey1d, Arc<Plan1d>>>,
-    plans2d: Mutex<HashMap<(usize, usize), Arc<Plan2d>>>,
-    plans3d: Mutex<HashMap<(usize, usize, usize), Arc<Plan3d>>>,
+    plans1d: Mutex<BTreeMap<PlanKey1d, Arc<Plan1d>>>,
+    plans2d: Mutex<BTreeMap<(usize, usize), Arc<Plan2d>>>,
+    plans3d: Mutex<BTreeMap<(usize, usize, usize), Arc<Plan3d>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -58,7 +58,7 @@ impl Direction {
 /// radix-2 path (bit-reversal permutation, per-line gather/scatter) so
 /// benchmarks and tests can A/B the engine overhaul against a faithful
 /// baseline instead of a synthetic slowdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum Engine {
     /// Planner's choice: Stockham autosort (radix-8/4/2) for powers of two,
     /// mixed-radix for smooth sizes, Bluestein otherwise — with cache-blocked
@@ -142,7 +142,7 @@ impl Algo {
 /// Advanced data layout for a batch of 1-D transforms, mirroring
 /// `cufftPlanMany`: element `j` of batch `b` is read at
 /// `b·idist + j·istride` and written at `b·odist + k·ostride`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Layout {
     /// Stride between successive elements of one transform.
     pub stride: usize,

@@ -14,21 +14,21 @@
 //! convolution plan inside every Bluestein plan.
 
 use crate::complex::C64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-static TABLES: OnceLock<Mutex<HashMap<usize, Arc<[C64]>>>> = OnceLock::new();
+static TABLES: OnceLock<Mutex<BTreeMap<usize, Arc<[C64]>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-static STAGE_TABLES: OnceLock<Mutex<HashMap<usize, Arc<StockhamTables>>>> = OnceLock::new();
+static STAGE_TABLES: OnceLock<Mutex<BTreeMap<usize, Arc<StockhamTables>>>> = OnceLock::new();
 
 /// Returns the shared forward twiddle table for length `n`:
 /// `w[j] = e^{-2πi·j/n}` for `j < n`.
 pub fn forward_table(n: usize) -> Arc<[C64]> {
     assert!(n > 0, "twiddle table requires n >= 1");
-    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let tables = TABLES.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut map = tables.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(t) = map.get(&n) {
         HITS.fetch_add(1, Ordering::Relaxed);
@@ -83,7 +83,7 @@ pub fn stockham_tables(n: usize) -> Arc<StockhamTables> {
         n.is_power_of_two(),
         "Stockham tables require a power of two, got {n}"
     );
-    let tables = STAGE_TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let tables = STAGE_TABLES.get_or_init(|| Mutex::new(BTreeMap::new()));
     {
         let map = tables.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(t) = map.get(&n) {

@@ -1,0 +1,151 @@
+//! `fftlint` — workspace determinism linter.
+//!
+//! A dependency-free static analyzer (hand-written lexer, no syn/proc-macro)
+//! that enforces the project's simulated-time contract at build time:
+//! simulated durations, trace events, and figure stdout must be bit-identical
+//! across executor thread counts, scheduler memoization modes, and reruns.
+//! The rules (see [`rules`]) are deny-by-default; the only escape hatch is an
+//! inline `// fftlint:allow(<rule-id>): <justification>` comment.
+//!
+//! The companion *runtime* half of the contract lives behind
+//! `--features sanitize` in `mpisim`/`distfft` (replay digests, pool leak
+//! detection, schedule-permutation stress); this crate is the static half.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rules;
+
+pub use rules::{FileCtx, FileKind, Finding, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directory prefixes excluded from `--workspace` walks: vendored stand-in
+/// crates (not project code) and fftlint's own violation fixtures.
+const EXCLUDED_PREFIXES: [&str; 2] = ["vendor/", "crates/fftlint/tests/fixtures/"];
+
+/// Classifies a workspace-relative path (forward slashes) into the crate it
+/// belongs to and its build role.
+pub fn classify(rel: &str) -> (String, FileKind) {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string();
+    let kind = if rel.contains("/tests/") || rel.starts_with("tests/") {
+        FileKind::Test
+    } else if rel.contains("/benches/") || rel.starts_with("benches/") {
+        FileKind::Bench
+    } else if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    (crate_name, kind)
+}
+
+/// Lints one source string as the given workspace-relative path.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let (crate_name, kind) = classify(rel);
+    let scanned = lex::scan(src);
+    rules::lint(
+        &scanned,
+        &FileCtx {
+            path: rel,
+            crate_name: &crate_name,
+            kind,
+        },
+    )
+}
+
+/// Lints one file on disk. `root` anchors the workspace-relative display
+/// path; files outside `root` keep their full path.
+pub fn lint_file(root: &Path, file: &Path) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(file)?;
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(lint_source(&rel, &src))
+}
+
+/// Collects every lintable `.rs` file under `root`, sorted for
+/// deterministic output, honoring [`EXCLUDED_PREFIXES`].
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "benches", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut out)?;
+        }
+    }
+    out.retain(|p| {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        !EXCLUDED_PREFIXES.iter().any(|x| rel.starts_with(x))
+    });
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_the_workspace_shapes() {
+        assert_eq!(
+            classify("crates/mpisim/src/comm.rs"),
+            ("mpisim".into(), FileKind::Lib)
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/fig2.rs"),
+            ("bench".into(), FileKind::Bin)
+        );
+        assert_eq!(
+            classify("crates/mpisim/tests/sanitize.rs"),
+            ("mpisim".into(), FileKind::Test)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/bench_snapshot.rs"),
+            ("bench".into(), FileKind::Bench)
+        );
+        assert_eq!(classify("src/lib.rs"), (String::new(), FileKind::Lib));
+        assert_eq!(
+            classify("tests/parallel_exec.rs"),
+            (String::new(), FileKind::Test)
+        );
+        assert_eq!(
+            classify("crates/fftlint/src/main.rs"),
+            ("fftlint".into(), FileKind::Bin)
+        );
+    }
+
+    #[test]
+    fn lint_source_end_to_end() {
+        let f = lint_source(
+            "crates/mpisim/src/x.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rules::NO_WALLCLOCK);
+        assert_eq!(f[0].path, "crates/mpisim/src/x.rs");
+    }
+}

@@ -1,0 +1,92 @@
+//! `fftlint` CLI.
+//!
+//! ```text
+//! fftlint --workspace           lint every project source under the cwd
+//! fftlint <file.rs>...          lint specific files
+//! fftlint --list-rules          print rule ids and one-line summaries
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in fftlint::ALL_RULES {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let workspace = args.iter().any(|a| a == "--workspace");
+    let explicit: Vec<PathBuf> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    if !workspace && explicit.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let files = if workspace {
+        match fftlint::workspace_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("fftlint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        explicit
+    };
+
+    let mut findings = 0usize;
+    let mut io_errors = 0usize;
+    for file in &files {
+        match fftlint::lint_file(&root, file) {
+            Ok(fs) => {
+                findings += fs.len();
+                for f in fs {
+                    println!("{f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("fftlint: {}: {e}", file.display());
+                io_errors += 1;
+            }
+        }
+    }
+
+    if io_errors > 0 {
+        return ExitCode::from(2);
+    }
+    if findings > 0 {
+        eprintln!(
+            "fftlint: {findings} finding(s) in {} file(s) checked",
+            files.len()
+        );
+        return ExitCode::from(1);
+    }
+    eprintln!("fftlint: clean ({} files checked)", files.len());
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+fftlint — workspace determinism linter
+
+USAGE:
+    fftlint --workspace           lint all project sources under the cwd
+    fftlint <file.rs>...          lint specific files
+    fftlint --list-rules          print the rule ids
+
+Findings print as `path:line:col: rule-id: message`; suppress one with an
+inline `// fftlint:allow(rule-id): reason` on the same or previous line.
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+";

@@ -1,0 +1,10 @@
+// Fixture: a fully clean simulated-time library module.
+use std::collections::BTreeMap;
+
+fn ordered(m: &BTreeMap<u64, u64>) -> Vec<u64> {
+    m.values().copied().collect()
+}
+
+fn no_panics(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}

@@ -1,0 +1,23 @@
+// Fixture: float-reduction-order violations.
+fn bad_parallel_sum(v: &[f64]) -> f64 {
+    v.par_iter().map(|a| a * 2.0).sum::<f64>()
+}
+
+fn fine_integer_parallel(v: &[u64]) -> u64 {
+    v.par_iter().map(|a| a * 2).sum::<u64>()
+}
+
+fn fine_serial_float(v: &[f64]) -> f64 {
+    v.iter().map(|a| a * 2.0).sum::<f64>()
+}
+
+fn fine_sorted_merge(v: &[f64]) -> f64 {
+    let mut parts: Vec<(usize, f64)> = v.par_iter().enumerate().collect();
+    parts.sort_by_key(|(i, _)| *i);
+    parts.iter().map(|(_, x)| x).sum::<f64>()
+}
+
+fn allowed_parallel_sum(v: &[f64]) -> f64 {
+    // fftlint:allow(float-reduction-order): fixture proving the escape hatch works
+    v.par_iter().map(|a| a * 2.0).sum::<f64>()
+}

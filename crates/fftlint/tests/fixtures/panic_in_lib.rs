@@ -1,0 +1,25 @@
+// Fixture: no-panic-in-lib violations.
+fn bad_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+fn bad_expect(x: Option<u64>) -> u64 {
+    x.expect("fixture")
+}
+
+fn fine_fallbacks(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+fn allowed_unwrap(x: Option<u64>) -> u64 {
+    // fftlint:allow(no-panic-in-lib): fixture proving the escape hatch works
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

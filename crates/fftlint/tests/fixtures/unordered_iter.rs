@@ -1,0 +1,21 @@
+// Fixture: no-unordered-iter violations.
+use std::collections::HashMap;
+
+fn bad_iteration() -> Vec<(u64, u64)> {
+    let m: HashMap<u64, u64> = (0..8).map(|i| (i, i * i)).collect();
+    m.into_iter().collect()
+}
+
+fn allowed_lookup() -> usize {
+    let s: std::collections::HashSet<u64> = (0..8).collect(); // fftlint:allow(no-unordered-iter): membership checks only, never iterated
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_hash_containers() {
+        let m: std::collections::HashMap<u8, u8> = Default::default();
+        assert!(m.is_empty());
+    }
+}

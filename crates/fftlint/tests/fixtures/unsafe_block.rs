@@ -1,0 +1,9 @@
+// Fixture: no-unsafe violations.
+fn bad_unsafe(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+fn allowed_unsafe(p: *const u64) -> u64 {
+    // fftlint:allow(no-unsafe): fixture proving the escape hatch works
+    unsafe { *p }
+}

@@ -1,0 +1,16 @@
+// Fixture: no-wallclock violations (linted as a simulated-time crate).
+fn bad_instant() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn bad_system_time() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+fn allowed_instant() -> u64 {
+    // fftlint:allow(no-wallclock): fixture proving the escape hatch works
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,115 @@
+//! Fixture tests: every rule fires on a seeded violation with an exact
+//! rule id and file:line:col span, and `fftlint:allow` silences it.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from `--workspace`
+//! walks) and are linted *as if* they sat in a simulated-time library
+//! crate, so every rule is in scope.
+
+use fftlint::{lint_source, rules};
+
+/// Reads a fixture and lints it under a pretend path inside `mpisim`'s
+/// library sources — a simulated-time crate, so all five rules apply.
+fn lint_fixture(name: &str) -> Vec<fftlint::Finding> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let src = std::fs::read_to_string(format!("{dir}/{name}")).expect("fixture readable");
+    lint_source(&format!("crates/mpisim/src/{name}"), &src)
+}
+
+/// (rule, line, col) triples of the findings.
+fn spans(findings: &[fftlint::Finding]) -> Vec<(&'static str, u32, u32)> {
+    findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
+}
+
+#[test]
+fn wallclock_fixture_fires_twice_and_allow_silences_the_third() {
+    // Note the fixture is named wallclock_reads.rs: a file named exactly
+    // `wallclock.rs` would hit the rule's module allowlist by design.
+    let f = lint_fixture("wallclock_reads.rs");
+    assert_eq!(
+        spans(&f),
+        vec![(rules::NO_WALLCLOCK, 3, 25), (rules::NO_WALLCLOCK, 8, 24),]
+    );
+    assert!(f
+        .iter()
+        .all(|x| x.path == "crates/mpisim/src/wallclock_reads.rs"));
+}
+
+#[test]
+fn wallclock_module_allowlist_exempts_dedicated_wallclock_files() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let src =
+        std::fs::read_to_string(format!("{dir}/wallclock_reads.rs")).expect("fixture readable");
+    let f = lint_source("crates/mpisim/src/wallclock.rs", &src);
+    assert!(f.is_empty(), "allowlisted module must be exempt: {f:?}");
+}
+
+#[test]
+fn unordered_iter_fixture_flags_use_and_bad_iteration_only() {
+    let f = lint_fixture("unordered_iter.rs");
+    assert_eq!(
+        spans(&f),
+        vec![
+            (rules::NO_UNORDERED_ITER, 2, 23),
+            (rules::NO_UNORDERED_ITER, 5, 12),
+        ],
+        "the allowed lookup and the #[cfg(test)] module must not fire"
+    );
+}
+
+#[test]
+fn panic_fixture_flags_unwrap_and_expect_but_not_fallbacks() {
+    let f = lint_fixture("panic_in_lib.rs");
+    assert_eq!(
+        spans(&f),
+        vec![
+            (rules::NO_PANIC_IN_LIB, 3, 7),
+            (rules::NO_PANIC_IN_LIB, 7, 7),
+        ],
+        "unwrap_or/unwrap_or_else/unwrap_or_default, the allow-annotated \
+         unwrap, and the test module must not fire"
+    );
+}
+
+#[test]
+fn unsafe_fixture_fires_once_and_allow_silences_the_second() {
+    let f = lint_fixture("unsafe_block.rs");
+    assert_eq!(spans(&f), vec![(rules::NO_UNSAFE, 3, 5)]);
+}
+
+#[test]
+fn float_reduction_fixture_flags_only_the_unordered_parallel_sum() {
+    let f = lint_fixture("float_reduction.rs");
+    assert_eq!(
+        spans(&f),
+        vec![(rules::FLOAT_REDUCTION_ORDER, 3, 7)],
+        "integer parallel, serial float, index-sorted merge, and the \
+         allow-annotated sum must not fire"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert!(lint_fixture("clean.rs").is_empty());
+}
+
+#[test]
+fn fixture_directory_is_excluded_from_workspace_walks() {
+    // The fixtures seed deliberate violations; a workspace walk rooted at
+    // the repo must never pick them up (CI runs `fftlint --workspace` and
+    // requires it clean).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("repo root");
+    let files = fftlint::workspace_files(root).expect("walk");
+    assert!(
+        !files.is_empty(),
+        "walk must find the workspace sources from the repo root"
+    );
+    assert!(
+        files
+            .iter()
+            .all(|p| !p.to_string_lossy().contains("fixtures")),
+        "fixtures leaked into the workspace walk"
+    );
+}

@@ -67,14 +67,17 @@ where
                         }
                         local
                     })
+                    // fftlint:allow(no-panic-in-lib): thread spawn failure is unrecoverable
                     .expect("failed to spawn sweep worker")
             })
             .collect();
         handles
             .into_iter()
+            // fftlint:allow(no-panic-in-lib): propagating a worker panic is the contract
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
+    // fftlint:allow(no-panic-in-lib): propagating a worker panic is the contract
     .expect("sweep scope panicked");
 
     let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();

@@ -7,7 +7,7 @@
 //! text format (one entry per line), so no serialization dependency is
 //! needed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -18,7 +18,7 @@ use simgrid::{MachineSpec, SimTime};
 use crate::tuner::{tune, TunedChoice};
 
 /// Cache key: machine name + transform extents + rank count.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct WisdomKey {
     /// Machine preset name ("Summit", "Spock", …).
     pub machine: String,
@@ -77,7 +77,7 @@ impl WisdomEntry {
 /// The cache.
 #[derive(Debug, Clone, Default)]
 pub struct Wisdom {
-    entries: HashMap<WisdomKey, WisdomEntry>,
+    entries: BTreeMap<WisdomKey, WisdomEntry>,
 }
 
 fn decomp_tag(d: Decomp) -> &'static str {

@@ -132,6 +132,7 @@ impl CritPath {
                         ..
                     } => {
                         let occ = *occ_count.entry(*reshape).or_insert(0);
+                        // fftlint:allow(no-panic-in-lib): key inserted on the previous line
                         *occ_count.get_mut(reshape).unwrap() += 1;
                         v.push((
                             Ev {

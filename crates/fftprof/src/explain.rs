@@ -86,6 +86,7 @@ pub fn why_decomposition(
                 .rows
                 .iter()
                 .max_by_key(|r| r.delta_ns())
+                // fftlint:allow(no-panic-in-lib): a differential report always has phase rows
                 .expect("seven rows");
             out.push_str(&format!(
                 "The best {} candidate is {} slower ({} vs {}); the gap is concentrated in \

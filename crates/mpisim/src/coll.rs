@@ -429,6 +429,7 @@ pub fn bcast<T: Clone + Send + 'static>(
     // Move the value through the control plane.
     let tag = rank.ctrl_tag(comm.id());
     let v = if comm.me() == root {
+        // fftlint:allow(no-panic-in-lib): root-ness asserted at function entry
         let v = value.expect("checked above");
         for i in 0..comm.size() {
             if i != comm.me() {

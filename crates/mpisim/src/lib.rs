@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # mpisim — simulated MPI on a simulated cluster
 //!
@@ -41,6 +42,8 @@ pub mod distro;
 pub mod p2p;
 pub mod par;
 pub mod pattern;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 
 pub use comm::{Comm, Rank, World, WorldOpts};
 pub use datatype::Subarray;

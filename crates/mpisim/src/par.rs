@@ -57,14 +57,17 @@ where
                             .map(|(i, item)| (i, f(i, state, item)))
                             .collect::<Vec<_>>()
                     })
+                    // fftlint:allow(no-panic-in-lib): thread spawn failure is unrecoverable
                     .expect("failed to spawn partition worker")
             })
             .collect();
         handles
             .into_iter()
+            // fftlint:allow(no-panic-in-lib): propagating a worker panic is the contract
             .map(|h| h.join().expect("partition worker panicked"))
             .collect()
     })
+    // fftlint:allow(no-panic-in-lib): propagating a worker panic is the contract
     .expect("partition scope panicked");
 
     let mut indexed: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();

@@ -111,7 +111,7 @@ impl<'a> NetParams<'a> {
 /// common offset share one cached schedule. `phase_id` seeds the jitter and
 /// is folded to zero when the jitter amplitude is zero, which is what lets
 /// a steady-state transform loop (new phase id every reshape) hit.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
 pub struct SchedKey {
     kind: u8,
     extra: u64,
@@ -138,7 +138,7 @@ pub struct SchedKey {
 /// because they are constant for the owning world.
 #[derive(Default)]
 pub struct SchedMemo {
-    map: parking_lot::Mutex<std::collections::HashMap<SchedKey, Vec<u64>>>,
+    map: parking_lot::Mutex<std::collections::BTreeMap<SchedKey, Vec<u64>>>,
 }
 
 impl std::fmt::Debug for SchedMemo {

@@ -119,7 +119,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -153,7 +153,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -164,7 +164,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
+            self.expect_byte(b':', "expected ':' after object key")?;
             let val = self.value()?;
             members.push((key, val));
             self.skip_ws();
@@ -177,7 +177,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -210,7 +210,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.bump() {

@@ -91,6 +91,7 @@ impl Sub for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // fftlint:allow(no-panic-in-lib): underflow means simulator-clock corruption
                 .expect("SimTime subtraction underflow"),
         )
     }

@@ -11,8 +11,21 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== fftlint --workspace =="
+# Determinism linter (DESIGN.md §12): no wall-clock reads in simulated-time
+# crates, no HashMap/HashSet in runtime code, no unsafe, no unwrap/expect in
+# library code, no unordered parallel float reductions. Deny-by-default;
+# the only escape is an inline justified `// fftlint:allow(<rule>)`.
+cargo run --offline -q -p fftlint -- --workspace
+
 echo "== cargo test =="
 cargo test --workspace --offline -q
+
+echo "== cargo test --features sanitize =="
+# Runtime half of the determinism contract: replay digests identical across
+# executor thread counts {1,4}, sched_memo/fused_meta on vs off, and seeded
+# mailbox-harvest shuffles; plus the executor pool leak detector.
+cargo test -p mpisim -p distfft --features sanitize --offline -q
 
 echo "== trace export smoke test =="
 # The observability layer must be invisible on stdout: a figure run with
@@ -29,6 +42,16 @@ cmp "$TDIR/plain.out" "$TDIR/traced.out" || {
     exit 1
 }
 ./target/debug/trace_check "$TDIR/fig2.json"
+
+echo "== replay smoke: fig2 twice =="
+# Cheap wall-clock-leak canary: two runs of the same figure binary must be
+# byte-identical. Any host-time or iteration-order leak into simulated
+# results shows up here before it shows up in a reviewed figure.
+./target/debug/fig2 >"$TDIR/replay.out"
+cmp "$TDIR/plain.out" "$TDIR/replay.out" || {
+    echo "FAIL: fig2 stdout differs between two identical runs" >&2
+    exit 1
+}
 
 echo "== profiler smoke test =="
 # Same invisibility contract for the critical-path profiler: fig5 with

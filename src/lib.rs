@@ -15,6 +15,8 @@
 //! See `README.md` for a guided tour and `DESIGN.md` for the experiment
 //! index mapping every table and figure of the paper to a harness binary.
 
+#![forbid(unsafe_code)]
+
 pub use distfft;
 pub use fftkern;
 pub use fftmodels;
