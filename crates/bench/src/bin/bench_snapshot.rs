@@ -8,17 +8,22 @@
 //!
 //! Cold vs warm: **cold** is the faithful pre-overhaul path — the seed's
 //! `Engine::Legacy` scalar radix-2 kernels (bit-reversal pass, per-line
-//! gather/scatter), a fresh plan built per call, allocating execution, and
-//! for the distributed row a fresh serial `ExecCtx` per transform. **Warm**
-//! is the overhauled path — Stockham autosort kernels, the global plan
-//! cache, caller-held scratch, and for the distributed row a long-lived
-//! context with pooled buffers and `> 1` executor workers.
+//! gather/scatter), a fresh plan built per call, allocating execution,
+//! butterfly dispatch pinned to the scalar tier (`FFT_SIMD=off`
+//! equivalent), and for the distributed row a fresh serial `ExecCtx` per
+//! transform. **Warm** is the overhauled path — Stockham autosort kernels
+//! under auto SIMD dispatch (widest of scalar/AVX2/AVX-512 the host has),
+//! the global plan cache, caller-held scratch, and for the distributed row
+//! a long-lived context with pooled buffers and `> 1` executor workers.
+//! The tier pinning uses `fftkern::simd::force_tier`, the in-process
+//! equivalent of the `FFT_SIMD` env knob (which is read only once).
 
 use std::time::Instant;
 
 use distfft::exec::{bind, execute, ExecCtx};
 use distfft::plan::{FftOptions, FftPlan};
 use fftkern::plan::{Engine, Layout, Plan1d};
+use fftkern::simd::{self, SimdTier};
 use fftkern::{plan_cache, Direction, C64};
 use mpisim::comm::{Comm, World, WorldOpts};
 use simgrid::MachineSpec;
@@ -100,10 +105,15 @@ fn plan_reuse_row(name: &'static str, n: usize, batch: usize, layout: Layout, it
     let mut scratch = Vec::new();
     let (cold_ns, warm_ns) = time_pair_ns(
         || {
+            // Pinned scalar butterflies: the legacy engine never dispatches
+            // SIMD, but the pin makes the pre-overhaul baseline explicit
+            // (and keeps it honest if the legacy path ever learns to).
+            simd::force_tier(Some(SimdTier::Scalar));
             let plan = Plan1d::with_engine(n, batch, layout, layout, Engine::Legacy);
             plan.execute_inplace(&mut cold_data, Direction::Forward);
         },
         || {
+            simd::force_tier(None); // auto: widest detected tier
             let plan = plan_cache().plan1d(n, batch, layout, layout);
             if scratch.len() < plan.scratch_elems() {
                 scratch.resize(plan.scratch_elems(), C64::ZERO);
@@ -113,6 +123,7 @@ fn plan_reuse_row(name: &'static str, n: usize, batch: usize, layout: Layout, it
         iters,
         7,
     );
+    simd::force_tier(None);
     Row {
         name,
         cold_ns,
@@ -130,6 +141,14 @@ fn reshape_pool_row(iters: u32) -> Row {
     let machine = MachineSpec::testbox(2);
     let plan = FftPlan::build([16, 16, 16], 8, FftOptions::default());
     let run = |reuse_ctx: bool, iters: u32| {
+        // Tier pinning mirrors the plan-reuse rows: cold = scalar
+        // butterflies, warm = auto dispatch. Set before the world spawns
+        // its rank threads (the force is process-global).
+        simd::force_tier(if reuse_ctx {
+            None
+        } else {
+            Some(SimdTier::Scalar)
+        });
         let opts = WorldOpts {
             sched_memo: reuse_ctx,
             fused_meta: reuse_ctx,
@@ -188,6 +207,7 @@ fn reshape_pool_row(iters: u32) -> Row {
         cold_samples.push(run(false, iters));
         warm_samples.push(run(true, iters));
     }
+    simd::force_tier(None);
     Row {
         name: "functional_exec_16cubed_8ranks",
         cold_ns: median_ns(cold_samples),
@@ -195,32 +215,46 @@ fn reshape_pool_row(iters: u32) -> Row {
     }
 }
 
-/// Analytic figure-style sweep, serial vs `par_map` (thread count from the
-/// host). On a single-core host this is ~1x by construction; the row records
-/// the measured ratio rather than assuming one.
+/// Analytic figure-style sweep. Cold = the pre-overhaul analytic path:
+/// serial grid evaluation with the dry runner's collective-schedule memo
+/// off, so every transform re-walks its O(p²) exit schedules. Warm = the
+/// overhauled path: `par_map` fan-out (thread count from the host — 1 on a
+/// single-core CI box) over memoizing runners. Samples are interleaved for
+/// the same drift-cancellation reason as `time_pair_ns` — the previous
+/// cold-all-then-warm-all shape of this row put all of the clock drift on
+/// one leg, which is how an identical-work pair once recorded 0.98×.
 fn sweep_parallel_row() -> Row {
     let m = MachineSpec::summit();
     let ladder = [6usize, 12, 24, 48, 96, 192];
-    let sweep = |threads: usize| {
+    let sweep = |threads: usize, memo: bool| {
         fftmodels::par::par_map_with(threads, &ladder, |&ranks| {
-            fft_bench::timed_average(&m, [64, 64, 64], ranks, FftOptions::default(), true)
+            fft_bench::timed_average_memo(
+                &m,
+                [64, 64, 64],
+                ranks,
+                FftOptions::default(),
+                true,
+                memo,
+            )
         })
     };
-    let time = |threads: usize| {
-        let mut xs: Vec<f64> = (0..3)
-            .map(|_| {
-                let start = Instant::now();
-                let _ = sweep(threads);
-                start.elapsed().as_nanos() as f64
-            })
-            .collect();
-        xs.sort_by(|a, b| a.total_cmp(b));
-        xs[xs.len() / 2]
+    let time = |threads: usize, memo: bool| {
+        let start = Instant::now();
+        let _ = sweep(threads, memo);
+        start.elapsed().as_nanos() as f64
     };
+    // One untimed pass per leg (lazy init), then interleaved samples.
+    let _ = time(1, false);
+    let _ = time(fftmodels::sweep_threads(), true);
+    let (mut cold_samples, mut warm_samples) = (Vec::new(), Vec::new());
+    for _ in 0..3 {
+        cold_samples.push(time(1, false));
+        warm_samples.push(time(fftmodels::sweep_threads(), true));
+    }
     Row {
         name: "analytic_sweep_6pt_ladder",
-        cold_ns: time(1),
-        warm_ns: time(fftmodels::sweep_threads()),
+        cold_ns: median_ns(cold_samples),
+        warm_ns: median_ns(warm_samples),
     }
 }
 
@@ -344,19 +378,23 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"suite\": \"kernel engine overhaul\",\n");
     json.push_str(
-        "  \"protocol\": \"median of interleaved cold/warm samples, per-call ns; cold = pre-overhaul path (Engine::Legacy radix-2, fresh plan per call, allocating execute, fresh serial ExecCtx), warm = overhauled path (Stockham autosort, PlanCache, pooled scratch, long-lived multi-worker ExecCtx)\",\n",
+        "  \"protocol\": \"median of interleaved cold/warm samples, per-call ns; cold = pre-overhaul path (Engine::Legacy radix-2, scalar butterflies pinned, fresh plan per call, allocating execute, fresh serial ExecCtx, schedule memo off), warm = overhauled path (Stockham autosort, auto SIMD dispatch, PlanCache, pooled scratch, long-lived multi-worker ExecCtx, schedule memo on)\",\n",
     );
     json.push_str("  \"threads\": ");
     json.push_str(&fftmodels::sweep_threads().to_string());
     json.push_str(",\n  \"exec_threads\": ");
     json.push_str(&WARM_EXEC_THREADS.to_string());
     // Environment stamps: enough to interpret a regression report without
-    // the machine it came from.
+    // the machine it came from. `simd` is the tier the warm legs actually
+    // dispatched; `cpu` the detected feature set — a 1.7× pow2 row from an
+    // AVX-512 box and a scalar box are not comparable numbers.
     json.push_str(&format!(
-        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}}},\n",
+        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}, \"simd\": \"{}\", \"cpu\": \"{}\"}},\n",
         stamp("rustc", &["-V"]),
         stamp("git", &["rev-parse", "--short", "HEAD"]),
-        fftmodels::sweep_threads()
+        fftmodels::sweep_threads(),
+        simd::active_tier().name(),
+        simd::detected_features()
     ));
     json.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {

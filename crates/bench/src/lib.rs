@@ -38,12 +38,28 @@ pub fn timed_average(
     opts: FftOptions,
     gpu_aware: bool,
 ) -> SimTime {
+    timed_average_memo(machine, n, ranks, opts, gpu_aware, true)
+}
+
+/// [`timed_average`] with explicit control over the dry runner's
+/// collective-schedule memo. Memoization is exact (memo on/off agree to the
+/// nanosecond — asserted by `sched_memo_is_time_exact`), so this knob only
+/// exists for honest A/B wall-clock benches of the memo itself.
+pub fn timed_average_memo(
+    machine: &MachineSpec,
+    n: [usize; 3],
+    ranks: usize,
+    opts: FftOptions,
+    gpu_aware: bool,
+    sched_memo: bool,
+) -> SimTime {
     let plan = FftPlan::build(n, ranks, opts);
     let mut runner = DryRunner::new(
         &plan,
         machine,
         DryRunOpts {
             gpu_aware,
+            sched_memo,
             ..DryRunOpts::default()
         },
     );
@@ -415,6 +431,28 @@ mod tests {
                 "{threads}-thread sweep diverged from serial"
             );
         }
+    }
+
+    #[test]
+    fn sched_memo_is_time_exact() {
+        // The dry runner's schedule memo replays relative exits; the
+        // walkers are time-shift invariant, so memo on/off must agree to
+        // the nanosecond — the memoized warm bench leg measures the same
+        // simulation as the cold one, just faster.
+        let m = MachineSpec::summit();
+        let plan = FftPlan::build([32, 32, 32], 24, FftOptions::default());
+        let t = |memo: bool| {
+            let mut r = DryRunner::new(
+                &plan,
+                &m,
+                DryRunOpts {
+                    sched_memo: memo,
+                    ..DryRunOpts::default()
+                },
+            );
+            r.timed_average(WARMUPS, PAIRS)
+        };
+        assert_eq!(t(true), t(false));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use fftkern::Direction;
 use mpisim::coll;
 use mpisim::distro::MpiDistro;
-use mpisim::pattern::{NetParams, P2pFlavor, PhaseEnv};
+use mpisim::pattern::{NetParams, P2pFlavor, PhaseEnv, SchedMemo};
 use simgrid::{MachineSpec, SimTime};
 
 use crate::boxes::Box3;
@@ -30,6 +30,13 @@ pub struct DryRunOpts {
     /// Failure injection: per-rank GPU compute slowdown factors (>1 =
     /// slower), mirroring `WorldOpts::compute_slowdown`.
     pub compute_slowdown: Vec<(usize, f64)>,
+    /// Memoize collective exit schedules across transforms (on by default,
+    /// like the functional world). An iterated dry run — `timed_average`
+    /// re-walks the identical O(p²) schedule on every transform — replays
+    /// cached relative exits instead. Memoized times are exact (the walkers
+    /// are time-shift invariant), so this is a pure speedup; benches turn
+    /// it off on their cold leg for an honest A/B.
+    pub sched_memo: bool,
 }
 
 impl Default for DryRunOpts {
@@ -40,6 +47,7 @@ impl Default for DryRunOpts {
             noise_amplitude: 0.0,
             seed: 0xF0F0_1234,
             compute_slowdown: Vec::new(),
+            sched_memo: true,
         }
     }
 }
@@ -87,6 +95,10 @@ pub struct DryRunner<'a> {
     ctx: ExecCtx,
     net_clock: Vec<SimTime>,
     gpu_clock: Vec<SimTime>,
+    /// Collective-schedule cache, scoped to this runner: one runner means
+    /// one machine spec, one seed, one jitter amplitude — exactly the
+    /// sharing boundary [`SchedMemo`] requires.
+    memo: SchedMemo,
 }
 
 impl<'a> DryRunner<'a> {
@@ -99,6 +111,7 @@ impl<'a> DryRunner<'a> {
             ctx: ExecCtx::new(),
             net_clock: vec![SimTime::ZERO; plan.nranks],
             gpu_clock: vec![SimTime::ZERO; plan.nranks],
+            memo: SchedMemo::default(),
         }
     }
 
@@ -115,8 +128,7 @@ impl<'a> DryRunner<'a> {
             spec: self.machine,
             seed: self.opts.seed,
             noise_amp: self.opts.noise_amplitude,
-            // The dry run prices each schedule once; nothing to memoize.
-            memo: None,
+            memo: self.opts.sched_memo.then_some(&self.memo),
         };
         let n = plan.nranks;
         let mut traces = vec![Trace::new(); n];

@@ -14,6 +14,8 @@
 //! Fig. 13.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::OnceLock;
 
 use fftkern::plan::Layout;
 use fftkern::{Direction, C64};
@@ -28,14 +30,35 @@ use crate::plan::{CommBackend, FftPlan, Step};
 use crate::reshape::{apply_self_block, ReshapeSpec};
 use crate::trace::{KernelKind, Trace, TraceEvent};
 
+/// Parses an executor tuning variable: `Some(max(n, 1))` when the string is
+/// a valid integer, `None` when it isn't (the caller warns and falls back).
+/// Pure so the accept/reject behavior is unit-testable without touching
+/// process-global environment state.
+fn parse_exec_var(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Warns once per `flag` (per process) that `var` was set to an unparsable
+/// `value`. A silently ignored tuning knob is worse than no knob: a typoed
+/// `FFT_EXEC_THREADS=fourteen` used to quietly run serial benchmarks.
+fn warn_bad_env_once(flag: &AtomicBool, var: &str, value: &str, fallback: &str) {
+    if !flag.swap(true, AtomicOrdering::Relaxed) {
+        eprintln!("distfft: ignoring unparsable {var}={value:?} (expected a positive integer); using {fallback}");
+    }
+}
+
 /// Worker-thread count for the parallel executor: the `FFT_EXEC_THREADS`
 /// environment variable if set (and ≥ 1), otherwise 1 (serial). Unlike the
 /// sweep harnesses, the executor defaults to serial: rank programs already
 /// run one thread per rank, so oversubscription is an explicit opt-in.
+/// An unparsable value warns once to stderr instead of silently running
+/// serial.
 pub fn exec_threads() -> usize {
+    static WARNED: AtomicBool = AtomicBool::new(false);
     if let Ok(v) = std::env::var("FFT_EXEC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match parse_exec_var(&v) {
+            Some(n) => return n,
+            None => warn_bad_env_once(&WARNED, "FFT_EXEC_THREADS", &v, "1 (serial)"),
         }
     }
     1
@@ -49,6 +72,29 @@ pub fn exec_threads() -> usize {
 /// arenas. The gate is a pure function of the data sizes, so scheduling —
 /// and therefore per-arena [`PoolStats`] — stays deterministic.
 const PAR_MIN_ELEMS: usize = 8192;
+
+/// The grain gate, overridable via `FFT_EXEC_GRAIN` (parsed like
+/// `FFT_EXEC_THREADS`: integer, clamped ≥ 1, warn-once on garbage) so bench
+/// sweeps can probe the fan-out threshold without rebuilds. Read once per
+/// process: both the take side (`run_local_fft`/`exchange_chunk` deciding
+/// worker count) and the recycle side consult this value, and they must
+/// agree for the arena pools to stay balanced — a per-call env read could
+/// in principle see a mutated environment mid-transform.
+pub fn par_min_elems() -> usize {
+    static GRAIN: OnceLock<usize> = OnceLock::new();
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    *GRAIN.get_or_init(|| {
+        if let Ok(v) = std::env::var("FFT_EXEC_GRAIN") {
+            match parse_exec_var(&v) {
+                Some(n) => return n,
+                None => {
+                    warn_bad_env_once(&WARNED, "FFT_EXEC_GRAIN", &v, "the built-in grain (8192)")
+                }
+            }
+        }
+        PAR_MIN_ELEMS
+    })
+}
 
 /// Cross-call executor state: strided-plan warmup tracking, the phase-id
 /// counter and the per-rank scratch pool. Create one per experiment and
@@ -462,7 +508,7 @@ pub fn execute(
 /// kernel buffer (grown once per shape, reused across calls), so the steady
 /// state builds no plans and allocates no buffers.
 ///
-/// With more than one arena — and at least [`PAR_MIN_ELEMS`] elements of
+/// With more than one arena — and at least [`par_min_elems`] elements of
 /// work, below which the fan-out cost exceeds the math — the batch is split
 /// into disjoint `&mut` work units — contiguous row blocks (axis 2), axis-0
 /// planes (axis 1), whole batch items (axis 0) — and fanned across
@@ -484,7 +530,7 @@ fn run_local_fft(
     }
     let cache = fftkern::plan_cache();
     let total_elems: usize = data.iter().map(|item| item.len()).sum();
-    if arenas.len() <= 1 || total_elems < PAR_MIN_ELEMS {
+    if arenas.len() <= 1 || total_elems < par_min_elems() {
         // Serial fast path: one plan lookup, one kernel buffer. In baseline
         // mode the plan is instead built fresh per call with the legacy
         // engine — the pre-overhaul executor, kept for honest A/B benches.
@@ -690,7 +736,7 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
                 // arena 0 — the same decision on take and recycle sides, so
                 // per-arena pool traffic stays balanced (see PAR_MIN_ELEMS).
                 let vol = items * from_box.volume().max(to_box.volume());
-                let w = if vol < PAR_MIN_ELEMS {
+                let w = if vol < par_min_elems() {
                     1
                 } else {
                     ctx.arenas.len()
@@ -907,4 +953,35 @@ fn run_alltoallw(
         &mut new_data[0],
         &recv_types,
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_exec_var;
+
+    #[test]
+    fn exec_var_parsing_accepts_integers_and_clamps() {
+        assert_eq!(parse_exec_var("4"), Some(4));
+        assert_eq!(parse_exec_var(" 16 "), Some(16));
+        // Clamped ≥ 1: 0 workers/elements is nonsense, not an error.
+        assert_eq!(parse_exec_var("0"), Some(1));
+    }
+
+    #[test]
+    fn exec_var_parsing_rejects_garbage() {
+        // These fall back (with a once-per-process stderr warning at the
+        // call sites) instead of silently running with defaults.
+        assert_eq!(parse_exec_var("fourteen"), None);
+        assert_eq!(parse_exec_var(""), None);
+        assert_eq!(parse_exec_var("-2"), None);
+        assert_eq!(parse_exec_var("4.5"), None);
+    }
+
+    #[test]
+    fn grain_gate_is_stable_within_a_process() {
+        // Take and recycle sides of the executor both consult this; a
+        // flapping value would unbalance the per-arena pools.
+        assert_eq!(super::par_min_elems(), super::par_min_elems());
+        assert!(super::par_min_elems() >= 1);
+    }
 }

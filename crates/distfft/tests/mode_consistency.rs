@@ -89,6 +89,7 @@ fn check_consistency(
         noise_amplitude: wopts.noise_amplitude,
         seed: wopts.seed,
         compute_slowdown: wopts.compute_slowdown.clone(),
+        ..DryRunOpts::default()
     };
     let mut runner = DryRunner::new(&plan, &machine, dopts);
     for (round, (f_totals, f_traces)) in functional.iter().enumerate() {

@@ -1,4 +1,8 @@
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD butterfly kernels in `simd.rs` are the one
+// sanctioned `unsafe` perimeter (raw vector loads/stores + feature-gated
+// entry), opened with per-site justified allows. fftlint's `no-unsafe` rule
+// still fails `unsafe` anywhere else in the crate (DESIGN.md §13).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 //! # fftkern — local FFT engine
 //!
@@ -42,6 +46,7 @@ pub mod nd;
 pub mod plan;
 pub mod radix;
 pub mod real;
+pub mod simd;
 pub mod stockham;
 pub mod twiddle;
 
@@ -49,6 +54,7 @@ pub use cache::{plan_cache, PlanCache};
 pub use complex::C64;
 pub use kernel_model::{GpuModel, KernelTimeModel, LayoutKind};
 pub use plan::{Direction, Engine, Plan1d, Plan2d, Plan3d};
+pub use simd::SimdTier;
 pub use stockham::StockhamPlan;
 
 /// Returns true if `n` factors entirely into 2, 3, 5 and 7 — the sizes the

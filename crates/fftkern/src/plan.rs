@@ -254,6 +254,21 @@ impl Plan1d {
         self.algo.name()
     }
 
+    /// Algorithm plus the butterfly tier the dispatcher would use *right
+    /// now* (e.g. `"stockham+avx512"`), for probes and bench stamps. The
+    /// tier is resolved per transform, not baked into the plan, so this
+    /// reflects the current `FFT_SIMD`/force state; the legacy engine and
+    /// the non-Stockham algorithms never dispatch, so they report plain
+    /// `"<algo>+scalar"`.
+    pub fn kernel_desc(&self) -> String {
+        let tier = if matches!(self.engine, Engine::Auto) {
+            crate::simd::active_tier()
+        } else {
+            crate::simd::SimdTier::Scalar
+        };
+        format!("{}+{}", self.algo.name(), tier.name())
+    }
+
     /// Kernel engine this plan was built with.
     pub fn engine(&self) -> Engine {
         self.engine

@@ -109,8 +109,20 @@ impl StockhamPlan {
         } else {
             (data, work)
         };
+        // Resolved once per transform, not per stage: the tier is a pair of
+        // atomic loads and every stage of one transform must agree with the
+        // others only for speed, not correctness (all tiers are
+        // bit-identical by construction — see `simd`).
+        let tier = crate::simd::active_tier();
         for st in &self.tables.stages {
             let tw = &self.tables.tw[st.tw_off..];
+            // Widest vector kernel the tier and stage geometry admit;
+            // `run_stage` returns false (tiny stages, scalar tier, non-x86)
+            // to fall through to the portable bodies below.
+            if crate::simd::run_stage(tier, src, dst, st, tw, inverse) {
+                std::mem::swap(&mut src, &mut dst);
+                continue;
+            }
             // Direction is a const generic so the butterfly bodies compile
             // branch-free (the `±i` rotations and conjugations fold away).
             match (st.radix, inverse) {

@@ -1,0 +1,216 @@
+//! SIMD × scalar × naive-DFT cross-checks (ISSUE 6 tentpole).
+//!
+//! The vector kernels in `fftkern::simd` claim **bit-identity** with the
+//! scalar Stockham stage bodies — not "close", identical, because every
+//! complex element sees the exact scalar operation sequence (lanes are
+//! elementwise, the complex multiply differs only by a commutative IEEE
+//! addition, rotations are sign flips). This suite holds them to it with
+//! `to_bits` comparisons across every tier the host supports, over packed
+//! and strided layouts, pow2 / mixed-radix / Bluestein lengths, both
+//! directions — and cross-checks the values against the O(N²) DFT oracle
+//! so "all tiers agree on garbage" cannot pass.
+//!
+//! `force_tier` is process-global state. Integration-test files run in
+//! their own process, so forcing tiers here cannot perturb other suites,
+//! but the `#[test]` fns in *this* file share the process and run on
+//! parallel threads — every test serializes on [`TIER_LOCK`] and restores
+//! auto dispatch before releasing it.
+
+use fftkern::dft::dft_1d;
+use fftkern::plan::{Layout, Plan1d};
+use fftkern::simd::{self, SimdTier};
+use fftkern::{Direction, Engine, StockhamPlan, C64};
+use std::sync::Mutex;
+
+/// Serializes every test in this file around the process-global tier.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// All tiers this host can actually run, scalar first.
+fn available_tiers() -> Vec<SimdTier> {
+    [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512]
+        .into_iter()
+        .filter(|&t| simd::tier_available(t))
+        .collect()
+}
+
+/// Runs `f` with the dispatcher pinned to `tier`, restoring auto after.
+fn with_tier<R>(tier: SimdTier, f: impl FnOnce() -> R) -> R {
+    simd::force_tier(Some(tier));
+    let r = f();
+    simd::force_tier(None);
+    r
+}
+
+/// Deterministic non-trivial signal (distinct per batch line).
+fn signal(len: usize) -> Vec<C64> {
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            C64::new((0.41 * t).sin() - 0.2 * (2.3 * t).cos(), (0.59 * t).cos())
+        })
+        .collect()
+}
+
+/// Exact bit pattern of a complex buffer.
+fn bits(data: &[C64]) -> Vec<(u64, u64)> {
+    data.iter()
+        .map(|c| (c.re.to_bits(), c.im.to_bits()))
+        .collect()
+}
+
+fn max_abs_diff(a: &[C64], b: &[C64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = *x - *y;
+            d.re.abs().max(d.im.abs())
+        })
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn stockham_bitwise_identical_across_tiers_all_pow2() {
+    let _g = TIER_LOCK.lock().unwrap();
+    let tiers = available_tiers();
+    for log in 1..=13 {
+        let n = 1usize << log;
+        let plan = StockhamPlan::new(n);
+        let x = signal(n);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let reference = with_tier(SimdTier::Scalar, || {
+                let mut d = x.clone();
+                plan.execute(&mut d, dir);
+                d
+            });
+            for &tier in &tiers {
+                let got = with_tier(tier, || {
+                    let mut d = x.clone();
+                    plan.execute(&mut d, dir);
+                    d
+                });
+                assert_eq!(
+                    bits(&got),
+                    bits(&reference),
+                    "tier {} diverges from scalar at n={n} {dir:?}",
+                    tier.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_matches_naive_dft_not_just_itself() {
+    // Bit-identity across tiers alone would also pass if every tier were
+    // wrong the same way; anchor the values to the O(N²) oracle.
+    let _g = TIER_LOCK.lock().unwrap();
+    for &tier in &available_tiers() {
+        for n in [8usize, 64, 512] {
+            let plan = StockhamPlan::new(n);
+            let x = signal(n);
+            let fast = with_tier(tier, || {
+                let mut d = x.clone();
+                plan.execute(&mut d, Direction::Forward);
+                d
+            });
+            let slow = dft_1d(&x, Direction::Forward);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-8 * n as f64,
+                "tier {} vs DFT at n={n}",
+                tier.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan1d_bitwise_identical_across_tiers_layouts_and_algorithms() {
+    // End-to-end through Plan1d: pow2 (Stockham direct + cache-blocked
+    // strided tiles), mixed-radix smooth sizes, and Bluestein primes (whose
+    // pow2 convolution rides the Stockham engine) — packed and strided.
+    let _g = TIER_LOCK.lock().unwrap();
+    let tiers = available_tiers();
+    for n in [16usize, 512, 1024, 60, 360, 499, 97] {
+        for batch in [1usize, 3, 16] {
+            for layout in [Layout::contiguous(n), Layout::strided(batch)] {
+                let plan = Plan1d::with_layout(n, batch, layout, layout);
+                let x = signal(plan.required_input_len());
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    let reference = with_tier(SimdTier::Scalar, || {
+                        let mut d = x.clone();
+                        plan.execute_inplace(&mut d, dir);
+                        d
+                    });
+                    for &tier in &tiers {
+                        let got = with_tier(tier, || {
+                            let mut d = x.clone();
+                            plan.execute_inplace(&mut d, dir);
+                            d
+                        });
+                        assert_eq!(
+                            bits(&got),
+                            bits(&reference),
+                            "tier {} diverges at n={n} batch={batch} \
+                             stride={} {dir:?}",
+                            tier.name(),
+                            layout.stride
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_engine_ignores_simd_dispatch() {
+    // Engine::Legacy is the scalar radix-2 reference path; forcing a wide
+    // tier must not change a single bit of it (dispatch is wired into the
+    // Stockham engine only).
+    let _g = TIER_LOCK.lock().unwrap();
+    let n = 256;
+    let plan = Plan1d::with_engine(
+        n,
+        4,
+        Layout::contiguous(n),
+        Layout::contiguous(n),
+        Engine::Legacy,
+    );
+    let x = signal(plan.required_input_len());
+    let reference = with_tier(SimdTier::Scalar, || {
+        let mut d = x.clone();
+        plan.execute_inplace(&mut d, Direction::Forward);
+        d
+    });
+    for &tier in &available_tiers() {
+        let got = with_tier(tier, || {
+            let mut d = x.clone();
+            plan.execute_inplace(&mut d, Direction::Forward);
+            d
+        });
+        assert_eq!(bits(&got), bits(&reference), "tier {}", tier.name());
+    }
+}
+
+#[test]
+fn roundtrip_under_each_tier() {
+    let _g = TIER_LOCK.lock().unwrap();
+    for &tier in &available_tiers() {
+        for n in [32usize, 512, 4096] {
+            let plan = StockhamPlan::new(n);
+            let x = signal(n);
+            let y = with_tier(tier, || {
+                let mut d = x.clone();
+                plan.execute(&mut d, Direction::Forward);
+                plan.execute(&mut d, Direction::Inverse);
+                d
+            });
+            let expected: Vec<C64> = x.iter().map(|v| v.scale(n as f64)).collect();
+            assert!(
+                max_abs_diff(&y, &expected) < 1e-9 * n as f64,
+                "tier {} n={n}",
+                tier.name()
+            );
+        }
+    }
+}

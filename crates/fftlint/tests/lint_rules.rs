@@ -77,6 +77,32 @@ fn unsafe_fixture_fires_once_and_allow_silences_the_second() {
 }
 
 #[test]
+fn unsafe_rule_has_no_simd_module_carveout() {
+    // fftkern's SIMD kernels live behind `#![deny(unsafe_code)]` with
+    // per-site `fftlint:allow(no-unsafe)` justifications — the *module*
+    // gets no blanket exemption from the linter. Unannotated `unsafe`
+    // must keep firing everywhere in fftkern, including simd.rs itself
+    // and test/bench targets (rustc's deny does not reach a dropped
+    // attribute; the lint does).
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let src = std::fs::read_to_string(format!("{dir}/unsafe_block.rs")).expect("fixture readable");
+    for path in [
+        "crates/fftkern/src/simd.rs",
+        "crates/fftkern/src/stockham.rs",
+        "crates/fftkern/src/lib.rs",
+        "crates/fftkern/tests/simd_equivalence.rs",
+        "crates/bench/src/bin/bench_snapshot.rs",
+    ] {
+        let f = fftlint::lint_source(path, &src);
+        assert_eq!(
+            spans(&f),
+            vec![(rules::NO_UNSAFE, 3, 5)],
+            "unannotated unsafe must fire under {path}"
+        );
+    }
+}
+
+#[test]
 fn float_reduction_fixture_flags_only_the_unordered_parallel_sum() {
     let f = lint_fixture("float_reduction.rs");
     assert_eq!(

@@ -21,6 +21,19 @@ cargo run --offline -q -p fftlint -- --workspace
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== cargo test (FFT_SIMD=off) =="
+# The scalar fallback is a first-class code path, not a leftover: the full
+# suite must pass with SIMD dispatch pinned off, exactly as it would on a
+# non-x86 host. (The default leg above already exercised the widest
+# detected tier.)
+FFT_SIMD=off cargo test --workspace --offline -q
+
+echo "== SIMD feature-detection smoke =="
+# Prints what the dispatcher sees (CPU features, detected/active tier) and
+# transforms once per available tier, failing on any bitwise divergence
+# from scalar.
+cargo run --offline -q -p fft-bench --bin simd_probe
+
 echo "== cargo test --features sanitize =="
 # Runtime half of the determinism contract: replay digests identical across
 # executor thread counts {1,4}, sched_memo/fused_meta on vs off, and seeded
