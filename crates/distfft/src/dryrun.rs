@@ -12,7 +12,7 @@ use mpisim::pattern::{NetParams, P2pFlavor, PhaseEnv, SchedMemo};
 use simgrid::{MachineSpec, SimTime};
 
 use crate::boxes::Box3;
-use crate::exec::ExecCtx;
+use crate::exec::{chunk_byte_split, pipelined_k, ChunkBytes, ExecCtx};
 use crate::plan::{CommBackend, FftPlan, Step};
 use crate::trace::{KernelKind, Trace, TraceEvent};
 
@@ -183,14 +183,88 @@ impl<'a> DryRunner<'a> {
                         let phase_id = self.ctx.next_phase_id();
                         let backend = plan.opts.backend;
 
+                        // Per-rank pipelining gate, mirroring the functional
+                        // executor's per-group decision in `exchange_chunk`:
+                        // a rank chunks iff its own group does.
+                        let pipe_k: Vec<Option<usize>> = (0..n)
+                            .map(|r| {
+                                spec.group_of[r].and_then(|gi| {
+                                    pipelined_k(
+                                        backend,
+                                        spec.groups[gi].len(),
+                                        plan.opts.reshape_chunks,
+                                    )
+                                })
+                            })
+                            .collect();
+
                         // Local kernels bracketing the exchange, per rank.
+                        // Chunked ranks run the per-chunk pack chain of
+                        // `exchange_chunk_pipelined` instead, recording when
+                        // each chunk's payload is postable.
                         let mut pack_bytes = vec![0usize; n];
                         let mut unpack_bytes = vec![0usize; n];
+                        let mut chunk_split: Vec<Option<ChunkBytes>> = vec![None; n];
+                        let mut pack_done: Vec<Vec<SimTime>> = vec![Vec::new(); n];
                         for r in 0..n {
                             let (p, u, s) = plan.reshape_local_bytes(spec, r);
+                            let self_b = s * items;
+                            if let (Some(gi), Some(k_eff)) = (spec.group_of[r], pipe_k[r]) {
+                                let group = &spec.groups[gi];
+                                let me_sub = group
+                                    .iter()
+                                    .position(|&g| g == r)
+                                    // fftlint:allow(no-panic-in-lib): every rank sits in its group
+                                    .expect("rank in its own group");
+                                let split = chunk_byte_split(
+                                    spec,
+                                    r,
+                                    group,
+                                    me_sub,
+                                    k_eff,
+                                    backend.is_p2p(),
+                                    items,
+                                );
+                                let mut pd = vec![SimTime::ZERO; k_eff];
+                                for (k, pd_k) in pd.iter_mut().enumerate() {
+                                    if backend.needs_pack() && split.0[k] > 0 {
+                                        let ns = crate::plan::slowed_ns(
+                                            &self.opts.compute_slowdown,
+                                            r,
+                                            plan.pack_ns(&km, split.0[k]),
+                                        );
+                                        let st = self.gpu_clock[r].max(data_ready[c][r]);
+                                        self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                        data_ready[c][r] = self.gpu_clock[r];
+                                        traces[r].push(TraceEvent::Kernel {
+                                            kind: KernelKind::Pack,
+                                            start: st,
+                                            dur: SimTime::from_ns(ns),
+                                        });
+                                    }
+                                    if k == 0 && backend.is_p2p() && self_b > 0 {
+                                        let ns = crate::plan::slowed_ns(
+                                            &self.opts.compute_slowdown,
+                                            r,
+                                            plan.selfcopy_ns(self.machine, self_b),
+                                        );
+                                        let st = self.gpu_clock[r].max(data_ready[c][r]);
+                                        self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                        data_ready[c][r] = self.gpu_clock[r];
+                                        traces[r].push(TraceEvent::Kernel {
+                                            kind: KernelKind::SelfCopy,
+                                            start: st,
+                                            dur: SimTime::from_ns(ns),
+                                        });
+                                    }
+                                    *pd_k = self.gpu_clock[r].max(data_ready[c][r]);
+                                }
+                                pack_done[r] = pd;
+                                chunk_split[r] = Some(split);
+                                continue;
+                            }
                             pack_bytes[r] = p * items;
                             unpack_bytes[r] = u * items;
-                            let self_b = s * items;
                             if backend.needs_pack() && pack_bytes[r] > 0 {
                                 let ns = crate::plan::slowed_ns(
                                     &self.opts.compute_slowdown,
@@ -232,16 +306,115 @@ impl<'a> DryRunner<'a> {
                             phase_id,
                         };
                         for group in &spec.groups {
-                            let entries: Vec<SimTime> = group
-                                .iter()
-                                .map(|&r| self.net_clock[r].max(data_ready[c][r]))
-                                .collect();
                             let mut matrix = spec.group_byte_matrix(group);
                             for row in matrix.iter_mut() {
                                 for b in row.iter_mut() {
                                     *b *= items;
                                 }
                             }
+                            if let Some(k_eff) =
+                                pipelined_k(backend, group.len(), plan.opts.reshape_chunks)
+                            {
+                                // Pipelined group: the same partitioned walker
+                                // the functional collectives run, fed the same
+                                // per-chunk entries (`call_entry.max(pack_done[k])`
+                                // collapses to `net.max(pack_done[k])` because
+                                // the chain is monotone).
+                                let part_entries: Vec<Vec<SimTime>> = group
+                                    .iter()
+                                    .map(|&r| {
+                                        pack_done[r]
+                                            .iter()
+                                            .map(|&t| self.net_clock[r].max(t))
+                                            .collect()
+                                    })
+                                    .collect();
+                                let times = match backend {
+                                    CommBackend::AllToAllV => {
+                                        coll::alltoallv_partitioned_exit_times(
+                                            &np,
+                                            &env,
+                                            group,
+                                            &part_entries,
+                                            &matrix,
+                                            k_eff,
+                                        )
+                                    }
+                                    CommBackend::P2p | CommBackend::P2pBlocking => {
+                                        for (i, row) in matrix.iter_mut().enumerate() {
+                                            row[i] = 0; // self block moved by device copy
+                                        }
+                                        let flavor = if backend == CommBackend::P2p {
+                                            P2pFlavor::NonBlocking
+                                        } else {
+                                            P2pFlavor::Blocking
+                                        };
+                                        coll::p2p_exchange_partitioned_exit_times(
+                                            &np,
+                                            &env,
+                                            group,
+                                            &part_entries,
+                                            &matrix,
+                                            k_eff,
+                                            flavor,
+                                        )
+                                    }
+                                    _ => unreachable!(
+                                        "pipelined gate admits partitionable backends only"
+                                    ),
+                                };
+                                for (i, &r) in group.iter().enumerate() {
+                                    let exit = times.exits[i];
+                                    let ready = &times.part_ready[i];
+                                    let Some((_, unpack_split, wire_split)) =
+                                        chunk_split[r].as_ref()
+                                    else {
+                                        unreachable!("chunked member has a byte split")
+                                    };
+                                    // One MPI-call event per chunk, in chunk
+                                    // order — identical to the functional trace.
+                                    for k in 0..k_eff {
+                                        let start_c = part_entries[i][k];
+                                        let end = if k + 1 == k_eff {
+                                            exit.max(ready[k]).max(start_c)
+                                        } else {
+                                            ready[k].max(start_c)
+                                        };
+                                        traces[r].push(TraceEvent::MpiCall {
+                                            reshape: ri,
+                                            routine: backend.routine(),
+                                            start: start_c,
+                                            dur: end - start_c,
+                                            bytes: wire_split[k],
+                                        });
+                                    }
+                                    self.net_clock[r] = exit;
+                                    // Per-chunk unpacks, each eligible as its
+                                    // chunk's receives land.
+                                    for k in 0..k_eff {
+                                        if backend.needs_pack() && unpack_split[k] > 0 {
+                                            let ns = crate::plan::slowed_ns(
+                                                &self.opts.compute_slowdown,
+                                                r,
+                                                plan.unpack_ns(&km, unpack_split[k]),
+                                            );
+                                            let st = self.gpu_clock[r].max(ready[k]);
+                                            self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                            traces[r].push(TraceEvent::Kernel {
+                                                kind: KernelKind::Unpack,
+                                                start: st,
+                                                dur: SimTime::from_ns(ns),
+                                            });
+                                        }
+                                    }
+                                    data_ready[c][r] = self.gpu_clock[r].max(exit);
+                                }
+                                continue;
+                            }
+                            let entries: Vec<SimTime> = group
+                                .iter()
+                                .map(|&r| self.net_clock[r].max(data_ready[c][r]))
+                                .collect();
                             let exits = match backend {
                                 CommBackend::AllToAll => {
                                     let pad = spec.padded_block_bytes(group) * items;

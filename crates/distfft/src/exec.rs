@@ -96,6 +96,60 @@ pub fn par_min_elems() -> usize {
     })
 }
 
+/// Resolves the reshape-chunking setting: the `FFT_RESHAPE_CHUNKS`
+/// environment variable when set (parsed like `FFT_EXEC_THREADS`: integer,
+/// clamped ≥ 1, warn-once on garbage), otherwise the plan's
+/// `reshape_chunks` option. Read once per process so the functional
+/// executor and the analytic dry-run — which both call this — cannot
+/// disagree mid-run.
+pub fn reshape_chunks_setting(opt_chunks: usize) -> usize {
+    static CHUNKS: OnceLock<Option<usize>> = OnceLock::new();
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let env = *CHUNKS.get_or_init(|| match std::env::var("FFT_RESHAPE_CHUNKS") {
+        Ok(v) => match parse_exec_var(&v) {
+            Some(n) => Some(n),
+            None => {
+                warn_bad_env_once(
+                    &WARNED,
+                    "FFT_RESHAPE_CHUNKS",
+                    &v,
+                    "the plan's reshape_chunks option",
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    });
+    env.unwrap_or(opt_chunks).max(1)
+}
+
+/// Effective chunk count for one communication group: the requested
+/// setting clamped to the number of off-diagonal send steps (`p - 1`).
+/// Groups of ≤ 2 ranks have a single step and can never chunk.
+pub fn effective_group_chunks(setting: usize, group_size: usize) -> usize {
+    setting.min(group_size.saturating_sub(1)).max(1)
+}
+
+/// Chunk count of the pipelined reshape path for one group, `None` when
+/// the reshape runs monolithically: chunking needs a partitionable
+/// schedule (`AllToAllV` or the point-to-point backends — `AllToAll` is
+/// one tuned collective and `AllToAllW` hands packing to MPI) and at
+/// least 2 effective chunks.
+pub(crate) fn pipelined_k(
+    backend: CommBackend,
+    group_size: usize,
+    opt_chunks: usize,
+) -> Option<usize> {
+    if !matches!(
+        backend,
+        CommBackend::AllToAllV | CommBackend::P2p | CommBackend::P2pBlocking
+    ) {
+        return None;
+    }
+    let k = effective_group_chunks(reshape_chunks_setting(opt_chunks), group_size);
+    (k >= 2).then_some(k)
+}
+
 /// Cross-call executor state: strided-plan warmup tracking, the phase-id
 /// counter and the per-rank scratch pool. Create one per experiment and
 /// reuse it across warm-up and timed transforms so the Fig. 10 first-call
@@ -664,6 +718,33 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
     // Phase id must advance identically on every rank and in the dry run.
     let phase_id = ctx.next_phase_id();
 
+    // Pipelined reshape: per-peer chunks overlapping pack, send and unpack
+    // (DESIGN.md §14). Takes over the whole kernel + exchange chain.
+    if let Some(sub) = sub {
+        if let Some(k_eff) = pipelined_k(backend, sub.size(), plan.opts.reshape_chunks) {
+            return exchange_chunk_pipelined(
+                plan,
+                spec,
+                sub,
+                reshape_label,
+                from_box,
+                to_box,
+                km,
+                spec_machine,
+                gpu_aware,
+                slowdowns,
+                rank,
+                ctx,
+                trace,
+                gpu_clock,
+                data_ready,
+                data,
+                phase_id,
+                k_eff,
+            );
+        }
+    }
+
     let (pack_b, unpack_b, self_b) = plan.reshape_local_bytes(spec, me_world);
     let (pack_b, unpack_b, self_b) = (pack_b * items, unpack_b * items, self_b * items);
 
@@ -804,6 +885,253 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
     }
 }
 
+/// The pipelined reshape (DESIGN.md §14): the exchange is split into
+/// `k_eff` per-peer chunks by `mpisim::pattern::partition_of_step`, so
+/// packing for chunk `k+1` proceeds while chunk `k`'s sends are in flight
+/// and per-chunk unpack kernels start as each chunk's receives land —
+/// instead of the monolithic pack → exchange-barrier → unpack chain.
+///
+/// Data is bit-identical to the monolithic path: the same `build_sends`
+/// buffers go on the wire and one index-ordered `deposit_recvs` pass
+/// merges every received block, so chunk-completion order affects timing
+/// only. The analytic dry-run replays the same per-chunk kernel chain and
+/// the same partitioned walker, keeping the two modes in exact agreement.
+#[allow(clippy::too_many_arguments)]
+fn exchange_chunk_pipelined(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    sub: &Comm,
+    reshape_label: usize,
+    from_box: &Box3,
+    to_box: &Box3,
+    km: &fftkern::kernel_model::KernelTimeModel,
+    spec_machine: &simgrid::MachineSpec,
+    gpu_aware: bool,
+    slowdowns: &[(usize, f64)],
+    rank: &mut Rank,
+    ctx: &mut ExecCtx,
+    trace: &mut Trace,
+    gpu_clock: &mut SimTime,
+    data_ready: &mut SimTime,
+    data: &mut [Vec<C64>],
+    phase_id: u64,
+    k_eff: usize,
+) {
+    let me_world = rank.rank();
+    let items = data.len();
+    let backend = plan.opts.backend;
+    let is_p2p = backend.is_p2p();
+    let p = sub.size();
+    let me_sub = sub.me();
+    let members: Vec<usize> = (0..p).map(|j| sub.member(j)).collect();
+
+    let (_, _, self_b) = plan.reshape_local_bytes(spec, me_world);
+    let self_b = self_b * items;
+
+    // Per-chunk byte totals (pack, unpack, wire), assigned by the global
+    // partition function so sender and receiver agree on every message's
+    // chunk. Collective self flows belong to chunk 0 on both sides; the
+    // P2P self block moves by device copy and stays outside these sums,
+    // exactly as in `FftPlan::reshape_local_bytes`.
+    let (chunk_pack_b, chunk_unpack_b, chunk_wire_b) =
+        chunk_byte_split(spec, me_world, &members, me_sub, k_eff, is_p2p, items);
+
+    // New local arrays in the target layout (zero-filled from the pool).
+    let mut new_data: Vec<Vec<C64>> = (0..items)
+        .map(|_| ctx.arenas[0].take_zeroed(to_box.volume()))
+        .collect();
+
+    // Per-chunk pack chain: each chunk's pack kernel (and, for P2P, the
+    // chunk-0 self device copy) serializes on the GPU; `pack_done[k]` is
+    // when chunk `k`'s payload is postable.
+    let mut pack_done = vec![SimTime::ZERO; k_eff];
+    for k in 0..k_eff {
+        if backend.needs_pack() && chunk_pack_b[k] > 0 {
+            let ns = crate::plan::slowed_ns(slowdowns, me_world, plan.pack_ns(km, chunk_pack_b[k]));
+            let start = (*gpu_clock).max(*data_ready);
+            *gpu_clock = start + SimTime::from_ns(ns);
+            *data_ready = *gpu_clock;
+            trace.push(TraceEvent::Kernel {
+                kind: KernelKind::Pack,
+                start,
+                dur: SimTime::from_ns(ns),
+            });
+        }
+        if k == 0 && is_p2p && self_b > 0 {
+            let ns =
+                crate::plan::slowed_ns(slowdowns, me_world, plan.selfcopy_ns(spec_machine, self_b));
+            let start = (*gpu_clock).max(*data_ready);
+            *gpu_clock = start + SimTime::from_ns(ns);
+            *data_ready = *gpu_clock;
+            trace.push(TraceEvent::Kernel {
+                kind: KernelKind::SelfCopy,
+                start,
+                dur: SimTime::from_ns(ns),
+            });
+            for (old, new) in data.iter().zip(new_data.iter_mut()) {
+                apply_self_block(from_box, old, to_box, new);
+            }
+        }
+        pack_done[k] = (*gpu_clock).max(*data_ready);
+    }
+
+    let env = PhaseEnv {
+        gpu_aware,
+        flows_per_nic: spec_machine.gpus_per_node.min(plan.nranks),
+        nodes: spec_machine.nodes_for(plan.nranks),
+        p2p_peers: spec.peer_count(me_world).max(1),
+        phase_id,
+    };
+    // The call posts as soon as the *first* chunk is packed — this is the
+    // pipelining win over the monolithic `sync_to(*data_ready)`.
+    rank.clock.sync_to(pack_done[0]);
+    let call_entry = rank.now();
+    let part_entries: Vec<SimTime> = pack_done.iter().map(|t| call_entry.max(*t)).collect();
+
+    // Same grain gate as the monolithic path (see PAR_MIN_ELEMS).
+    let vol = items * from_box.volume().max(to_box.volume());
+    let w = if vol < par_min_elems() {
+        1
+    } else {
+        ctx.arenas.len()
+    };
+    let sends = build_sends(plan, spec, sub, from_box, data, items, &mut ctx.arenas[..w]);
+    let (recvd, times) = match backend {
+        CommBackend::AllToAllV => coll::alltoallv_partitioned(rank, sub, env, sends, &part_entries),
+        CommBackend::P2p => coll::p2p_exchange_partitioned(
+            rank,
+            sub,
+            env,
+            P2pFlavor::NonBlocking,
+            sends,
+            &part_entries,
+        ),
+        CommBackend::P2pBlocking => coll::p2p_exchange_partitioned(
+            rank,
+            sub,
+            env,
+            P2pFlavor::Blocking,
+            sends,
+            &part_entries,
+        ),
+        _ => unreachable!("pipelined path gates on partitionable backends"),
+    };
+    let exit = rank.now();
+    let ready = &times.part_ready[me_sub];
+
+    // One MPI-call event per chunk, in chunk order on every rank (the
+    // occurrence-matched pairing fftprof's critical path relies on). A
+    // chunk's call spans posting to chunk completion; the last one also
+    // covers the member's overall exit.
+    for k in 0..k_eff {
+        let start = part_entries[k];
+        let end = if k + 1 == k_eff {
+            exit.max(ready[k]).max(start)
+        } else {
+            ready[k].max(start)
+        };
+        trace.push(TraceEvent::MpiCall {
+            reshape: reshape_label,
+            routine: backend.routine(),
+            start,
+            dur: end - start,
+            bytes: chunk_wire_b[k],
+        });
+    }
+
+    // Deposits stay a single index-ordered merge over every received
+    // block — bit-identical to the monolithic path regardless of the
+    // chunks' completion order.
+    deposit_recvs(
+        plan,
+        spec,
+        sub,
+        to_box,
+        &recvd,
+        &mut new_data,
+        &mut ctx.arenas[..w],
+    );
+    for (j, buf) in recvd.into_iter().enumerate() {
+        ctx.arenas[j % w].give(buf);
+    }
+
+    // Per-chunk unpack kernels, each eligible as soon as its chunk's
+    // receives have landed — the unpack/recv overlap.
+    for k in 0..k_eff {
+        if backend.needs_pack() && chunk_unpack_b[k] > 0 {
+            let ns =
+                crate::plan::slowed_ns(slowdowns, me_world, plan.unpack_ns(km, chunk_unpack_b[k]));
+            let start = (*gpu_clock).max(ready[k]);
+            *gpu_clock = start + SimTime::from_ns(ns);
+            trace.push(TraceEvent::Kernel {
+                kind: KernelKind::Unpack,
+                start,
+                dur: SimTime::from_ns(ns),
+            });
+        }
+    }
+    *data_ready = (*gpu_clock).max(exit);
+
+    for (old, new) in data.iter_mut().zip(new_data) {
+        let prev = std::mem::replace(old, new);
+        ctx.arenas[0].give(prev);
+    }
+}
+
+/// Per-chunk (pack, unpack, wire) byte totals for one rank's reshape.
+pub(crate) type ChunkBytes = (Vec<usize>, Vec<usize>, Vec<usize>);
+
+/// Splits rank `me_world`'s reshape bytes into per-chunk (pack, unpack,
+/// wire) totals under the global partition function — shared by the
+/// functional executor and the analytic dry-run so both price identical
+/// chunk kernels and identical per-chunk MPI-call byte counts.
+pub(crate) fn chunk_byte_split(
+    spec: &ReshapeSpec,
+    me_world: usize,
+    members: &[usize],
+    me_sub: usize,
+    k_eff: usize,
+    is_p2p: bool,
+    items: usize,
+) -> ChunkBytes {
+    use mpisim::pattern::partition_of_step;
+    let p = members.len();
+    let send_idx = spec.send_region_index(me_world, members);
+    let recv_idx = spec.recv_region_index(me_world, members);
+    let mut pack = vec![0usize; k_eff];
+    let mut unpack = vec![0usize; k_eff];
+    let mut wire = vec![0usize; k_eff];
+    for j in 0..p {
+        if j == me_sub {
+            if !is_p2p {
+                if let Some(r) = send_idx[j] {
+                    pack[0] += r.volume() * crate::reshape::ELEM_BYTES;
+                }
+                if let Some(r) = recv_idx[j] {
+                    unpack[0] += r.volume() * crate::reshape::ELEM_BYTES;
+                }
+            }
+            continue;
+        }
+        if let Some(r) = send_idx[j] {
+            let part = partition_of_step((j + p - me_sub) % p, p, k_eff);
+            let b = r.volume() * crate::reshape::ELEM_BYTES;
+            pack[part] += b;
+            wire[part] += b;
+        }
+        if let Some(r) = recv_idx[j] {
+            let part = partition_of_step((me_sub + p - j) % p, p, k_eff);
+            unpack[part] += r.volume() * crate::reshape::ELEM_BYTES;
+        }
+    }
+    for v in [&mut pack, &mut unpack, &mut wire] {
+        for b in v.iter_mut() {
+            *b *= items;
+        }
+    }
+    (pack, unpack, wire)
+}
+
 /// Builds per-destination send buffers (items coalesced), in sub-comm member
 /// order, packing straight from the local arrays into pooled buffers. P2P
 /// skips the diagonal; padded Alltoall pads to the group maximum.
@@ -832,20 +1160,21 @@ fn build_sends(
         0
     };
 
+    // Source→region index built once per reshape: one O(p + peers) merge
+    // instead of an O(peers) `find` per destination.
+    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+    let send_idx = spec.send_region_index(me_world, &members);
+
     let dests: Vec<usize> = (0..sub.size()).collect();
     mpisim::par::par_parts(arenas, dests, |_, pool, j| {
-        let dst_world = sub.member(j);
+        let dst_world = members[j];
         if is_p2p && dst_world == me_world {
             return Vec::new();
         }
-        let region = spec.sends[me_world]
-            .iter()
-            .find(|(d, _)| *d == dst_world)
-            .map(|(_, b)| *b);
         let mut buf = pool.take_empty();
-        if let Some(region) = region {
+        if let Some(region) = send_idx[j] {
             for item in data.iter().take(items) {
-                from_box.extract_into(item, &region, &mut buf);
+                from_box.extract_into(item, region, &mut buf);
             }
         }
         if plan.opts.backend == CommBackend::AllToAll {
@@ -871,15 +1200,27 @@ fn deposit_recvs(
 ) {
     let me_world = sub.member(sub.me());
     let is_p2p = plan.opts.backend.is_p2p();
+    // Source→region index built once per reshape (O(p + peers)) instead of
+    // the per-block linear `find` that made this loop O(peers²).
+    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+    let recv_idx = spec.recv_region_index(me_world, &members);
     let units: Vec<&mut Vec<C64>> = new_data.iter_mut().collect();
     mpisim::par::par_parts(arenas, units, |b, _, item| {
         for (j, block) in recvd.iter().enumerate() {
-            let src_world = sub.member(j);
+            let src_world = members[j];
             if is_p2p && src_world == me_world {
                 continue; // self block handled by the device copy
             }
-            let Some((_, region)) = spec.recvs[me_world].iter().find(|(s, _)| *s == src_world)
-            else {
+            let Some(region) = recv_idx[j] else {
+                // A non-empty block with no matching recv region means the
+                // spec is malformed — fail loudly instead of silently
+                // dropping received data (see ReshapeSpec::validate).
+                assert!(
+                    block.is_empty() || plan.opts.backend == CommBackend::AllToAll,
+                    "reshape spec: rank {me_world} received {} elements from rank \
+                     {src_world} but has no recv region for it",
+                    block.len()
+                );
                 continue;
             };
             let vol = region.volume();
@@ -983,5 +1324,49 @@ mod tests {
         // flapping value would unbalance the per-arena pools.
         assert_eq!(super::par_min_elems(), super::par_min_elems());
         assert!(super::par_min_elems() >= 1);
+    }
+
+    #[test]
+    fn group_chunks_clamp_to_peer_count() {
+        // Groups of 2 have one send step — never chunkable.
+        assert_eq!(super::effective_group_chunks(4, 2), 1);
+        assert_eq!(super::effective_group_chunks(4, 8), 4);
+        // More chunks than peers clamps to p-1.
+        assert_eq!(super::effective_group_chunks(16, 8), 7);
+        assert_eq!(super::effective_group_chunks(1, 8), 1);
+        // Degenerate groups.
+        assert_eq!(super::effective_group_chunks(4, 1), 1);
+        assert_eq!(super::effective_group_chunks(4, 0), 1);
+    }
+
+    #[test]
+    fn chunk_byte_split_conserves_reshape_totals() {
+        use crate::procgrid::Distribution;
+        use crate::reshape::ReshapeSpec;
+        let a = Distribution::new([8, 8, 8], [2, 2, 2], 8);
+        let b = Distribution::new([8, 8, 8], [1, 2, 4], 8);
+        let spec = ReshapeSpec::build(&a, &b);
+        let members: Vec<usize> = (0..8).collect();
+        let items = 3usize;
+        for k_eff in [2usize, 4, 7] {
+            for (me_sub, &me) in members.iter().enumerate() {
+                for is_p2p in [false, true] {
+                    let (pack, unpack, wire) =
+                        super::chunk_byte_split(&spec, me, &members, me_sub, k_eff, is_p2p, items);
+                    let self_b = spec.bytes(me, me) * items;
+                    let wire_total: usize = wire.iter().sum();
+                    assert_eq!(wire_total, spec.offrank_send_bytes(me) * items);
+                    let pack_total: usize = pack.iter().sum();
+                    let unpack_total: usize = unpack.iter().sum();
+                    if is_p2p {
+                        assert_eq!(pack_total, wire_total);
+                        assert_eq!(unpack_total, spec.offrank_recv_bytes(me) * items);
+                    } else {
+                        assert_eq!(pack_total, wire_total + self_b);
+                        assert_eq!(unpack_total, spec.offrank_recv_bytes(me) * items + self_b);
+                    }
+                }
+            }
+        }
     }
 }

@@ -91,6 +91,15 @@ pub struct FftOptions {
     /// Pipeline chunks the batch is split into for communication/compute
     /// overlap (Fig. 13). Clamped to `batch`.
     pub pipeline_chunks: usize,
+    /// Per-peer chunks each reshape exchange is split into so packing,
+    /// sends, and unpacking overlap (pipelined reshapes; DESIGN.md §14).
+    /// `1` = the monolithic pack → exchange → unpack path. Clamped per
+    /// group to `peers` (= group size − 1); groups of 2 never chunk.
+    /// Overridable at runtime via `FFT_RESHAPE_CHUNKS`. Only the
+    /// `AllToAllV` and point-to-point backends honor it: `AllToAll` is a
+    /// single tuned collective and `AllToAllW` hands packing to MPI, so
+    /// neither exposes a partition seam.
+    pub reshape_chunks: usize,
 }
 
 impl Default for FftOptions {
@@ -103,6 +112,7 @@ impl Default for FftOptions {
             shrink_to: None,
             batch: 1,
             pipeline_chunks: 4,
+            reshape_chunks: 1,
         }
     }
 }

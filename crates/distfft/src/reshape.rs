@@ -15,6 +15,67 @@ use fftkern::C64;
 /// Bytes per complex element.
 pub const ELEM_BYTES: usize = C64::BYTES;
 
+/// A structural defect in a [`ReshapeSpec`] — a malformed spec must fail
+/// loudly at plan/validate time instead of silently producing an empty
+/// exchange (the old behavior mapped a missing peer region to zero bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReshapeError {
+    /// `sends[rank]` has no region for `dst` although `recvs[dst]` expects
+    /// one from `rank`.
+    MissingSendRegion {
+        /// Rank whose send list is missing the region.
+        rank: usize,
+        /// Destination the region should route to.
+        dst: usize,
+    },
+    /// `recvs[rank]` has no region for `src` although `sends[src]` routes
+    /// one to `rank`.
+    MissingRecvRegion {
+        /// Rank whose recv list is missing the region.
+        rank: usize,
+        /// Source whose send has no matching recv.
+        src: usize,
+    },
+    /// The send region `rank → dst` and the matching recv region disagree.
+    RegionMismatch {
+        /// Sending rank.
+        rank: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+    /// A rank lists the same peer twice on one side.
+    DuplicatePeer {
+        /// Rank with the duplicated entry.
+        rank: usize,
+        /// The repeated peer.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for ReshapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReshapeError::MissingSendRegion { rank, dst } => {
+                write!(f, "reshape spec: rank {rank} has no send region for destination {dst} but rank {dst} expects one")
+            }
+            ReshapeError::MissingRecvRegion { rank, src } => {
+                write!(f, "reshape spec: rank {rank} has no recv region for source {src} but rank {src} sends one")
+            }
+            ReshapeError::RegionMismatch { rank, dst } => {
+                write!(f, "reshape spec: send region {rank} -> {dst} disagrees with the matching recv region")
+            }
+            ReshapeError::DuplicatePeer { rank, peer } => {
+                write!(
+                    f,
+                    "reshape spec: rank {rank} lists peer {peer} more than once"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReshapeError {}
+
 /// A fully-resolved reshape between two distributions.
 #[derive(Debug, Clone)]
 pub struct ReshapeSpec {
@@ -95,12 +156,16 @@ impl ReshapeSpec {
                 group_of[r] = Some(gi);
             }
         }
-        ReshapeSpec {
+        let spec = ReshapeSpec {
             sends,
             recvs,
             groups,
             group_of,
+        };
+        if let Err(e) = spec.validate() {
+            panic!("planner produced a malformed reshape: {e}");
         }
+        spec
     }
 
     /// The reverse reshape `to → from`, derived without re-planning: the
@@ -108,12 +173,14 @@ impl ReshapeSpec {
     /// connected components) are unchanged. Equivalent to — and much cheaper
     /// than — `ReshapeSpec::build(to, from)`.
     pub fn reversed(&self) -> ReshapeSpec {
-        ReshapeSpec {
+        let spec = ReshapeSpec {
             sends: self.recvs.clone(),
             recvs: self.sends.clone(),
             groups: self.groups.clone(),
             group_of: self.group_of.clone(),
-        }
+        };
+        debug_assert!(spec.validate().is_ok(), "reversed spec must stay valid");
+        spec
     }
 
     /// True when every rank's only flow is to itself (the reshape is a
@@ -125,7 +192,108 @@ impl ReshapeSpec {
             .all(|(r, v)| v.iter().all(|(d, _)| *d == r))
     }
 
-    /// Bytes rank `r` sends to rank `s` (0 if no flow).
+    /// Checks the spec's structural invariants: each side's peer lists are
+    /// duplicate-free, and sends/recvs mirror each other exactly (same
+    /// pairs, same regions). [`ReshapeSpec::build`] and
+    /// [`ReshapeSpec::reversed`] assert this, so a spec corrupted after
+    /// construction fails at the next validation point rather than
+    /// producing an empty exchange.
+    pub fn validate(&self) -> Result<(), ReshapeError> {
+        for (r, v) in self.sends.iter().enumerate() {
+            for w in v.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(ReshapeError::DuplicatePeer {
+                        rank: r,
+                        peer: w[0].0,
+                    });
+                }
+            }
+        }
+        for (r, v) in self.recvs.iter().enumerate() {
+            for w in v.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(ReshapeError::DuplicatePeer {
+                        rank: r,
+                        peer: w[0].0,
+                    });
+                }
+            }
+        }
+        for (r, v) in self.sends.iter().enumerate() {
+            for (d, region) in v {
+                match self.recvs[*d].iter().find(|(s, _)| *s == r) {
+                    None => return Err(ReshapeError::MissingRecvRegion { rank: *d, src: r }),
+                    Some((_, got)) if got != region => {
+                        return Err(ReshapeError::RegionMismatch { rank: r, dst: *d })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for (r, v) in self.recvs.iter().enumerate() {
+            for (s, _) in v {
+                if !self.sends[*s].iter().any(|(d, _)| *d == r) {
+                    return Err(ReshapeError::MissingSendRegion { rank: *s, dst: r });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The region rank `r` sends to rank `s`, as a typed error when the
+    /// flow is absent — for callers that *require* the flow to exist
+    /// (deposit paths), unlike [`ReshapeSpec::bytes`] whose 0-for-no-flow
+    /// contract serves byte accounting over arbitrary pairs.
+    pub fn region_to(&self, r: usize, s: usize) -> Result<&Box3, ReshapeError> {
+        self.sends[r]
+            .iter()
+            .find(|(d, _)| *d == s)
+            .map(|(_, b)| b)
+            .ok_or(ReshapeError::MissingSendRegion { rank: r, dst: s })
+    }
+
+    /// Per-member index of rank `rank`'s send regions: `out[i]` is the
+    /// region destined to `members[i]`, `None` when there is no flow.
+    /// Built with a two-pointer merge (both sides sorted ascending), so one
+    /// O(p + peers) pass replaces the O(peers) `find` per member that made
+    /// deposit/pack loops O(peers²).
+    pub fn send_region_index<'a>(
+        &'a self,
+        rank: usize,
+        members: &[usize],
+    ) -> Vec<Option<&'a Box3>> {
+        Self::region_index(&self.sends[rank], members)
+    }
+
+    /// Per-member index of rank `rank`'s recv regions (see
+    /// [`ReshapeSpec::send_region_index`]).
+    pub fn recv_region_index<'a>(
+        &'a self,
+        rank: usize,
+        members: &[usize],
+    ) -> Vec<Option<&'a Box3>> {
+        Self::region_index(&self.recvs[rank], members)
+    }
+
+    fn region_index<'a>(flows: &'a [(usize, Box3)], members: &[usize]) -> Vec<Option<&'a Box3>> {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted");
+        let mut out = vec![None; members.len()];
+        let mut f = 0;
+        for (i, &m) in members.iter().enumerate() {
+            while f < flows.len() && flows[f].0 < m {
+                f += 1;
+            }
+            if f < flows.len() && flows[f].0 == m {
+                out[i] = Some(&flows[f].1);
+                f += 1;
+            }
+        }
+        out
+    }
+
+    /// Bytes rank `r` sends to rank `s` (0 if no flow — callers sum this
+    /// over arbitrary pairs; use [`ReshapeSpec::region_to`] when the flow
+    /// must exist).
     pub fn bytes(&self, r: usize, s: usize) -> usize {
         self.sends[r]
             .iter()
@@ -405,6 +573,111 @@ mod tests {
             };
             assert_eq!(norm(&derived), norm(&rebuilt));
         }
+    }
+
+    #[test]
+    fn region_index_matches_naive_find() {
+        let a = Distribution::new([8, 9, 10], [2, 3, 1], 6);
+        let b = Distribution::new([8, 9, 10], [1, 2, 3], 6);
+        let rs = ReshapeSpec::build(&a, &b);
+        for g in &rs.groups {
+            for &r in g {
+                let sidx = rs.send_region_index(r, g);
+                let ridx = rs.recv_region_index(r, g);
+                for (i, &m) in g.iter().enumerate() {
+                    let naive_s = rs.sends[r].iter().find(|(d, _)| *d == m).map(|(_, b)| b);
+                    let naive_r = rs.recvs[r].iter().find(|(s, _)| *s == m).map(|(_, b)| b);
+                    assert_eq!(sidx[i], naive_s, "send index rank {r} member {m}");
+                    assert_eq!(ridx[i], naive_r, "recv index rank {r} member {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_index_skips_non_members() {
+        // Pencil groups of 2 out of 8 ranks: the index over a group must
+        // not pick up flows to ranks outside it.
+        let a = Distribution::new(n64(), [1, 2, 4], 8);
+        let b = Distribution::new(n64(), [2, 1, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        let g = &rs.groups[0];
+        for &r in g {
+            let idx = rs.send_region_index(r, g);
+            assert_eq!(idx.len(), g.len());
+            assert!(idx.iter().all(|o| o.is_some()), "dense within the group");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_planner_output_and_rejects_corruption() {
+        let a = Distribution::new(n64(), [2, 2, 2], 8);
+        let b = Distribution::new(n64(), [1, 2, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        assert_eq!(rs.validate(), Ok(()));
+
+        // Drop one recv region: the matching send must be reported.
+        let mut broken = rs.clone();
+        let (src, _) = broken.recvs[0].remove(0);
+        assert_eq!(
+            broken.validate(),
+            Err(ReshapeError::MissingRecvRegion { rank: 0, src })
+        );
+
+        // Drop one send region: the orphaned recv must be reported.
+        let mut broken = rs.clone();
+        let (dst, _) = broken.sends[1].remove(0);
+        assert_eq!(
+            broken.validate(),
+            Err(ReshapeError::MissingSendRegion { rank: 1, dst })
+        );
+
+        // Disagreeing regions.
+        let mut broken = rs.clone();
+        let (d, region) = broken.sends[2][0];
+        let shrunk = Box3::new(region.lo, [region.hi[0], region.hi[1], region.hi[2] - 1]);
+        broken.sends[2][0] = (d, shrunk);
+        assert_eq!(
+            broken.validate(),
+            Err(ReshapeError::RegionMismatch { rank: 2, dst: d })
+        );
+
+        // Duplicate peer.
+        let mut broken = rs.clone();
+        let dup = broken.sends[3][0];
+        broken.sends[3].insert(0, dup);
+        assert_eq!(
+            broken.validate(),
+            Err(ReshapeError::DuplicatePeer {
+                rank: 3,
+                peer: dup.0
+            })
+        );
+    }
+
+    #[test]
+    fn region_to_reports_missing_flow() {
+        let a = Distribution::new(n64(), [1, 2, 4], 8);
+        let b = Distribution::new(n64(), [2, 1, 4], 8);
+        let rs = ReshapeSpec::build(&a, &b);
+        // Pencil groups of 2: rank 0 sends to exactly the members of its
+        // own group and to nobody in the other groups.
+        let peer = rs.sends[0]
+            .iter()
+            .map(|(d, _)| *d)
+            .find(|d| *d != 0)
+            .unwrap();
+        let stranger = (0..8)
+            .find(|s| !rs.sends[0].iter().any(|(d, _)| d == s))
+            .unwrap();
+        assert!(rs.region_to(0, peer).is_ok());
+        assert_eq!(
+            rs.region_to(0, stranger),
+            Err(ReshapeError::MissingSendRegion {
+                rank: 0,
+                dst: stranger
+            })
+        );
     }
 
     #[test]

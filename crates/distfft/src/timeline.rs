@@ -5,9 +5,9 @@
 //! stragglers, padding blowups) can be inspected straight from a terminal:
 //!
 //! ```text
-//! rank 0 |PPP###########UU~FFF~PPP#####UU...|
-//! rank 1 |PP############UUU~FF~PP######UUU..|
-//!         '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '~' stall  '.' idle
+//! rank 0 |PPP#####++++UU~FFF~PPP#####UU.....|
+//! rank 1 |PP####+++##UUU~FF~PP######UUU.....|
+//!         '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '+' overlap  '~' stall  '.' idle
 //! ```
 //!
 //! Two kinds of empty time are distinguished: `~` marks a **stall** — a
@@ -15,6 +15,14 @@
 //! is blocked (waiting on a peer, a link, or a dependency) — while `.`
 //! marks **idle** margins before a rank's first event or after its last
 //! (the rank simply isn't participating yet / any more).
+//!
+//! Pipelined reshapes (DESIGN.md §14) emit *overlapping* spans on one
+//! rank: a chunk's MPI call is still in flight while the next chunk's
+//! pack or an earlier chunk's unpack runs on the GPU. A cell covered by
+//! both a kernel span and an MPI span renders as `+` rather than letting
+//! one lane silently swallow the other; events may also arrive in the
+//! trace out of timestamp order (chunk completions interleave), which
+//! the column sweep tolerates by construction.
 
 use simgrid::SimTime;
 
@@ -45,9 +53,11 @@ fn span(e: &TraceEvent) -> (SimTime, SimTime) {
 /// Renders per-rank traces into a fixed-width timeline.
 ///
 /// Each row is one rank; each column is a `(t_max - t_min)/width` slice of
-/// simulated time. When several events touch a slice, the one covering the
-/// most of it wins. Gaps between a rank's events render as `~` (stall);
-/// time outside the rank's own first/last event renders as `.` (idle).
+/// simulated time. Kernel and MPI lanes are swept separately: within a
+/// lane the event covering the most of a slice wins, and a slice covered
+/// by *both* lanes renders as `+` (the pipelined-reshape overlap). Gaps
+/// between a rank's events render as `~` (stall); time outside the rank's
+/// own first/last event renders as `.` (idle).
 pub fn render(traces: &[Trace], width: usize) -> String {
     assert!(width > 0, "timeline width must be positive");
     let mut t_min = SimTime(u64::MAX);
@@ -81,9 +91,12 @@ pub fn render(traces: &[Trace], width: usize) -> String {
             r_lo = r_lo.min(s);
             r_hi = r_hi.max(f);
         }
-        let mut cover: Vec<(f64, char)> = (0..width)
+        // Backgrounds (stall/idle, possibly a zero-duration mark) plus the
+        // two event lanes, swept independently so concurrent kernel and
+        // MPI spans — the pipelined-reshape overlap — are both visible.
+        let mut base: Vec<char> = (0..width)
             .map(|c| {
-                let base = if trace.events.is_empty() {
+                if trace.events.is_empty() {
                     '.'
                 } else {
                     let mid = t_min + SimTime(((c as f64 + 0.5) * slice_ns) as u64);
@@ -92,10 +105,11 @@ pub fn render(traces: &[Trace], width: usize) -> String {
                     } else {
                         '.'
                     }
-                };
-                (0.0f64, base)
+                }
             })
             .collect();
+        let mut kern: Vec<(f64, char)> = vec![(0.0, ' '); width];
+        let mut comm: Vec<(f64, char)> = vec![(0.0, ' '); width];
         for e in &trace.events {
             let (s, f) = span(e);
             let g = glyph(e);
@@ -104,15 +118,20 @@ pub fn render(traces: &[Trace], width: usize) -> String {
                 // Zero-duration event: mark its instant with one glyph
                 // cell, without outranking any event of real extent.
                 let c = ((s_rel / slice_ns).floor() as usize).min(width - 1);
-                if matches!(cover[c].1, '.' | '~') {
-                    cover[c].1 = g;
+                if matches!(base[c], '.' | '~') {
+                    base[c] = g;
                 }
                 continue;
             }
+            let lane = if matches!(e, TraceEvent::MpiCall { .. }) {
+                &mut comm
+            } else {
+                &mut kern
+            };
             let f_rel = (f - t_min).as_ns() as f64;
             let first = (s_rel / slice_ns).floor() as usize;
             let last = ((f_rel / slice_ns).ceil() as usize).min(width);
-            for (c, slot) in cover.iter_mut().enumerate().take(last).skip(first) {
+            for (c, slot) in lane.iter_mut().enumerate().take(last).skip(first) {
                 let c_lo = c as f64 * slice_ns;
                 let c_hi = c_lo + slice_ns;
                 let overlap = (f_rel.min(c_hi) - s_rel.max(c_lo)).max(0.0);
@@ -122,7 +141,15 @@ pub fn render(traces: &[Trace], width: usize) -> String {
             }
         }
         out.push_str(&format!("rank {r:>3} |"));
-        out.extend(cover.iter().map(|(_, g)| *g));
+        for c in 0..width {
+            let g = match (kern[c].0 > 0.0, comm[c].0 > 0.0) {
+                (true, true) => '+',
+                (true, false) => kern[c].1,
+                (false, true) => comm[c].1,
+                (false, false) => base[c],
+            };
+            out.push(g);
+        }
         out.push_str("|\n");
     }
     out.push_str(&format!(
@@ -130,7 +157,7 @@ pub fn render(traces: &[Trace], width: usize) -> String {
         format!("{}", t_max - t_min),
         width = width.saturating_sub(1)
     ));
-    out.push_str("          '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '*' pointwise  '~' stall  '.' idle\n");
+    out.push_str("          '#' MPI  'F' FFT  'P' pack  'U' unpack  'S' self-copy  '*' pointwise  '+' comm+kernel overlap  '~' stall  '.' idle\n");
     out
 }
 
@@ -266,6 +293,75 @@ mod tests {
             row.contains("####"),
             "real event must keep its cells: {row}"
         );
+    }
+
+    fn unpack(start: u64, dur: u64) -> TraceEvent {
+        TraceEvent::Kernel {
+            kind: KernelKind::Unpack,
+            start: SimTime::from_ns(start),
+            dur: SimTime::from_ns(dur),
+        }
+    }
+
+    #[test]
+    fn overlapping_send_and_unpack_render_the_overlap_glyph() {
+        // A pipelined reshape: chunk 1's MPI call [0,1000) is still in
+        // flight while chunk 0's unpack [400,800) runs. The overlapped
+        // cells must show '+', with pure-MPI cells keeping '#' — neither
+        // lane may swallow the other.
+        let mut t = Trace::new();
+        t.push(mpi(0, 1000));
+        t.push(unpack(400, 400));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        assert!(row.contains("####++++##"), "row was: {row}");
+        assert!(s.contains("'+' comm+kernel overlap"), "legend: {s}");
+    }
+
+    #[test]
+    fn interleaved_chunk_events_keep_both_lanes_visible() {
+        // Two chunked MPI calls with a pack and an unpack interleaved, all
+        // overlapping somewhere. Every glyph class must survive the sweep.
+        let mut t = Trace::new();
+        t.push(mpi(0, 400));
+        t.push(mpi(200, 600));
+        t.push(fft(0, 100));
+        t.push(unpack(700, 200));
+        let s = render(&[t], 18);
+        let row = s.lines().next().unwrap();
+        assert!(row.contains('+'), "overlap cells collapsed: {row}");
+        assert!(row.contains('#'), "MPI-only cells lost: {row}");
+        assert!(row.contains('U'), "unpack-only cells lost: {row}");
+    }
+
+    #[test]
+    fn out_of_order_timestamps_render_without_panic() {
+        // Chunk completions land in the trace out of timestamp order; the
+        // column sweep must neither panic nor depend on push order.
+        let mut fwd = Trace::new();
+        fwd.push(mpi(600, 200));
+        fwd.push(unpack(650, 100));
+        fwd.push(mpi(0, 300));
+        fwd.push(fft(300, 200));
+        let mut rev = Trace::new();
+        rev.push(fft(300, 200));
+        rev.push(mpi(0, 300));
+        rev.push(unpack(650, 100));
+        rev.push(mpi(600, 200));
+        assert_eq!(render(&[fwd], 16), render(&[rev], 16));
+    }
+
+    #[test]
+    fn zero_duration_overlap_does_not_fabricate_overlap_cells() {
+        // Instantaneous events never claim a lane, so they can't turn a
+        // cell into '+' on their own.
+        let mut t = Trace::new();
+        t.push(mpi(0, 1000));
+        t.push(unpack(500, 0));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        assert!(!row.contains('+'), "zero-duration made overlap: {row}");
+        assert!(row.contains("##########"), "row was: {row}");
     }
 
     #[test]

@@ -290,6 +290,73 @@ fn straggler_injection_consistent() {
 }
 
 #[test]
+fn chunked_reshapes_consistent() {
+    // The pipelined reshape path (ISSUE 7): 8 ranks with brick I/O put a
+    // group of 8 in the boundary reshapes (chunked) next to pencil-stage
+    // groups of 2 (monolithic) — both executors must agree event-by-event
+    // on the mixed schedule, for every partitionable backend.
+    for backend in [
+        CommBackend::AllToAllV,
+        CommBackend::P2p,
+        CommBackend::P2pBlocking,
+    ] {
+        check_consistency(
+            MachineSpec::summit(),
+            [8, 8, 8],
+            8,
+            FftOptions {
+                backend,
+                reshape_chunks: 4,
+                ..FftOptions::default()
+            },
+            summit_opts(),
+            2,
+        );
+    }
+}
+
+#[test]
+fn chunked_reshapes_consistent_under_jitter_and_stragglers() {
+    // Chunk arrival order reshuffles under per-message jitter and a slow
+    // GPU; the partitioned walker and the functional exchange must still
+    // agree exactly.
+    check_consistency(
+        MachineSpec::summit(),
+        [8, 8, 8],
+        8,
+        FftOptions {
+            reshape_chunks: 7,
+            ..FftOptions::default()
+        },
+        WorldOpts {
+            noise_amplitude: 0.04,
+            seed: 77,
+            compute_slowdown: vec![(2, 3.0)],
+            ..WorldOpts::default()
+        },
+        2,
+    );
+}
+
+#[test]
+fn chunked_batched_pipeline_consistent() {
+    // Chunked reshapes compose with the batched transform pipeline.
+    check_consistency(
+        MachineSpec::spock(),
+        [8, 8, 8],
+        8,
+        FftOptions {
+            batch: 4,
+            pipeline_chunks: 2,
+            reshape_chunks: 3,
+            ..FftOptions::default()
+        },
+        summit_opts(),
+        1,
+    );
+}
+
+#[test]
 fn contiguous_fft_mode_consistent() {
     check_consistency(
         MachineSpec::summit(),

@@ -82,11 +82,52 @@ pub fn b_pencils(n: f64, pgrid: usize, qgrid: usize, t_measured: f64, latency_s:
     num / den
 }
 
+/// Pipelined reshape estimate: a strict pack → exchange → unpack chain
+/// split into `k` per-peer chunks (DESIGN.md §14). With each chunk's
+/// stages overlapping its neighbours', the chain costs one pass through
+/// the pipeline at `1/k` scale plus `k − 1` periods of the bottleneck
+/// stage:
+///
+/// `T_pipe(k) = (T_pack + T_comm + T_unpack)/k + ((k−1)/k)·max(T_pack, T_comm, T_unpack)`
+///
+/// `k = 1` recovers the strict-phase sum; as `k → ∞` the cost tends to
+/// the bottleneck stage alone (the other stages' fill/drain vanishes as
+/// `1/k`). This is the idealized ceiling the simulator's partitioned
+/// schedule walker is measured against — the walker additionally pays
+/// per-chunk message overheads, so real chunk counts have an interior
+/// optimum rather than a monotone win.
+pub fn t_pipelined(t_pack: f64, t_comm: f64, t_unpack: f64, k: usize) -> f64 {
+    let k_f = k.max(1) as f64;
+    let sum = t_pack + t_comm + t_unpack;
+    let bottleneck = t_pack.max(t_comm).max(t_unpack);
+    sum / k_f + (k_f - 1.0) / k_f * bottleneck
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const N512: f64 = 512.0 * 512.0 * 512.0;
+
+    #[test]
+    fn pipelined_k1_is_the_strict_sum() {
+        let (p, c, u) = (2e-3, 5e-3, 1.5e-3);
+        assert!((t_pipelined(p, c, u, 1) - (p + c + u)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pipelined_decreases_toward_the_bottleneck_stage() {
+        let (p, c, u) = (2e-3, 5e-3, 1.5e-3);
+        let mut prev = t_pipelined(p, c, u, 1);
+        for k in 2..=64 {
+            let t = t_pipelined(p, c, u, k);
+            assert!(t <= prev, "k={k}: {t} > {prev}");
+            assert!(t >= c, "k={k}: below the bottleneck stage");
+            prev = t;
+        }
+        // Large k approaches the bottleneck (comm) alone.
+        assert!((t_pipelined(p, c, u, 1 << 20) - c) / c < 1e-3);
+    }
 
     #[test]
     fn eq2_eq4_are_inverses() {

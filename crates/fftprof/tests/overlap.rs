@@ -1,0 +1,78 @@
+//! Chunked-reshape overlap as measured by the profiler (ISSUE 7).
+//!
+//! The acceptance check of the pipelined reshape path: on an 8-rank
+//! pencil workload, attribution must show strictly less recv-wait + idle
+//! with chunking on than off — the overlap converts exchange-barrier
+//! waiting into useful pack/unpack time — while every rank's phases still
+//! tile the window exactly despite the now-overlapping spans.
+
+use distfft::dryrun::{DryRunOpts, DryRunner};
+use distfft::plan::{CommBackend, FftOptions, FftPlan};
+use fftkern::Direction;
+use fftprof::{Phase, Profile};
+use simgrid::MachineSpec;
+
+const RANKS: usize = 8;
+
+/// Dry-runs the 8-rank pencil workload at one chunk setting and profiles
+/// the second (warm) transform.
+fn profiled(chunks: usize) -> Profile {
+    let machine = MachineSpec::summit();
+    let opts = FftOptions {
+        backend: CommBackend::AllToAllV,
+        reshape_chunks: chunks,
+        ..FftOptions::default()
+    };
+    let plan = FftPlan::build([32, 32, 32], RANKS, opts);
+    let mut runner = DryRunner::new(&plan, &machine, DryRunOpts::default());
+    runner.run(Direction::Forward);
+    let rep = runner.run(Direction::Forward);
+    let label = if chunks > 1 { "chunked" } else { "monolithic" };
+    Profile::build(label, &plan, &machine, true, &rep.traces)
+}
+
+/// Total recv-wait + idle over all ranks: the stall budget the pipelined
+/// path exists to shrink.
+fn stall_ns(p: &Profile) -> u64 {
+    let t = p.phases.totals();
+    t.get(Phase::RecvWait) + t.get(Phase::Idle)
+}
+
+#[test]
+fn chunking_reduces_recv_wait_plus_idle() {
+    // The env override collapses both settings to one config; the A/B is
+    // meaningless then (the CI chunking legs set it), so skip.
+    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+        return;
+    }
+    let off = profiled(1);
+    let on = profiled(8);
+    assert!(
+        stall_ns(&on) < stall_ns(&off),
+        "chunking must reduce recv-wait + idle: on={} ns, off={} ns",
+        stall_ns(&on),
+        stall_ns(&off)
+    );
+    assert!(
+        on.makespan_ns() <= off.makespan_ns(),
+        "chunking must not lengthen this workload: on={} ns, off={} ns",
+        on.makespan_ns(),
+        off.makespan_ns()
+    );
+}
+
+#[test]
+fn overlapping_chunk_spans_still_tile_the_window() {
+    // The integer-nanosecond sweep must keep the per-rank partition exact
+    // even when MPI-call and kernel spans overlap on one rank.
+    let p = profiled(8);
+    let makespan = p.makespan_ns();
+    assert!(makespan > 0);
+    for (r, bd) in p.phases.per_rank.iter().enumerate() {
+        assert_eq!(
+            bd.total_ns(),
+            makespan,
+            "rank {r} phases must sum to the window under overlap"
+        );
+    }
+}

@@ -33,6 +33,8 @@ const MEMO_ALLTOALLW: u8 = 3;
 const MEMO_P2P: u8 = 4;
 const MEMO_BARRIER: u8 = 5;
 const MEMO_ALLGATHER: u8 = 6;
+const MEMO_ALLTOALLV_PART: u8 = 7;
+const MEMO_P2P_PART: u8 = 8;
 
 /// Flattens a byte matrix into a memo signature.
 fn matrix_sig(matrix: &[Vec<usize>]) -> Vec<usize> {
@@ -242,6 +244,149 @@ pub fn p2p_exchange_exit_times(
     })
 }
 
+/// Rebuilds a [`PartitionedTimes`] from the flat layout the schedule memo
+/// stores: `p * nparts` chunk-ready times (member-major) followed by `p`
+/// exits.
+fn unflatten_partitioned(flat: Vec<SimTime>, p: usize, nparts: usize) -> pattern::PartitionedTimes {
+    assert_eq!(flat.len(), p * nparts + p);
+    let part_ready = (0..p)
+        .map(|i| flat[i * nparts..(i + 1) * nparts].to_vec())
+        .collect();
+    let exits = flat[p * nparts..].to_vec();
+    pattern::PartitionedTimes { part_ready, exits }
+}
+
+fn flatten_partitioned(times: pattern::PartitionedTimes) -> Vec<SimTime> {
+    let mut flat: Vec<SimTime> = times.part_ready.into_iter().flatten().collect();
+    flat.extend(times.exits);
+    flat
+}
+
+/// Applies the one-time call entry costs to a member's per-partition entry
+/// times: setup happens once when the call is posted (`pe[0]`), and no
+/// partition may inject before it completes.
+fn shift_part_entries(part_entries: &[Vec<SimTime>], setup_ns: u64) -> Vec<Vec<SimTime>> {
+    part_entries
+        .iter()
+        .map(|pe| {
+            let floor = pe[0] + SimTime::from_ns(setup_ns);
+            pe.iter().map(|t| (*t).max(floor)).collect()
+        })
+        .collect()
+}
+
+/// Exit and per-chunk ready times of a **partitioned** `MPI_Alltoallv`-style
+/// exchange: the basic-linear scatter of [`alltoallv_exit_times`], but with
+/// each member's sends split into `nparts` chunks that become eligible at
+/// `part_entries[i][k]` (its chunk-`k` pack completion). Receives complete
+/// per chunk so the caller can unpack chunk `k` at
+/// `part_ready[me][k]` while later chunks are still in flight.
+pub fn alltoallv_partitioned_exit_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    part_entries: &[Vec<SimTime>],
+    matrix: &[Vec<usize>],
+    nparts: usize,
+) -> pattern::PartitionedTimes {
+    fftobs::count("mpisim.calls.alltoallv_part", 1);
+    fftobs::count("mpisim.bytes.alltoallv_part", matrix_bytes(matrix));
+    let p = group.len();
+    let flat_entries: Vec<SimTime> = part_entries.iter().flatten().copied().collect();
+    let mut sig = matrix_sig(matrix);
+    sig.push(nparts);
+    let flat = pattern::memo_exits(
+        np,
+        env,
+        (MEMO_ALLTOALLV_PART, 0),
+        group,
+        &flat_entries,
+        sig,
+        || {
+            let pe = shift_part_entries(part_entries, coll_setup_ns(p) + call_sync_ns(np));
+            flatten_partitioned(pattern::partitioned_scatter_times(
+                np,
+                env,
+                group,
+                &pe,
+                &|i, j| matrix[i][j],
+                P2pFlavor::NonBlocking,
+                true,
+                &|_, _| 0,
+                &|_, _| 0,
+            ))
+        },
+    );
+    unflatten_partitioned(flat, p, nparts)
+}
+
+/// Exit and per-chunk ready times of the **partitioned** heFFTe-style
+/// point-to-point exchange: [`p2p_exchange_exit_times`]' schedule (empty
+/// pairs skipped, GPU-aware per-peer registration) with chunked send
+/// eligibility and per-chunk receive completion.
+pub fn p2p_exchange_partitioned_exit_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    part_entries: &[Vec<SimTime>],
+    matrix: &[Vec<usize>],
+    nparts: usize,
+    flavor: P2pFlavor,
+) -> pattern::PartitionedTimes {
+    fftobs::count("mpisim.calls.p2p_part", 1);
+    fftobs::count("mpisim.bytes.p2p_part", matrix_bytes(matrix));
+    let p = group.len();
+    let peers: Vec<usize> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.iter()
+                .enumerate()
+                .filter(|&(j, b)| j != i && *b > 0)
+                .count()
+        })
+        .collect();
+    let gpu_aware = env.gpu_aware;
+    let spec = np.spec;
+    let extra_send = move |i: usize, _j: usize| -> u64 {
+        if gpu_aware {
+            spec.p2p_gpu_aware_overhead_ns(peers[i].max(1))
+        } else {
+            0
+        }
+    };
+    let flavor_tag = match flavor {
+        P2pFlavor::Blocking => 0u64,
+        P2pFlavor::NonBlocking => 1u64,
+    };
+    let flat_entries: Vec<SimTime> = part_entries.iter().flatten().copied().collect();
+    let mut sig = matrix_sig(matrix);
+    sig.push(nparts);
+    let flat = pattern::memo_exits(
+        np,
+        env,
+        (MEMO_P2P_PART, flavor_tag),
+        group,
+        &flat_entries,
+        sig,
+        || {
+            let pe = shift_part_entries(part_entries, call_sync_ns(np));
+            flatten_partitioned(pattern::partitioned_scatter_times(
+                np,
+                env,
+                group,
+                &pe,
+                &|i, j| matrix[i][j],
+                flavor,
+                false, // heFFTe's hand-written loop skips empty pairs
+                &extra_send,
+                &|_, _| 0,
+            ))
+        },
+    );
+    unflatten_partitioned(flat, p, nparts)
+}
+
 /// Moves the data payloads with `(entry time, byte row)` metadata fused
 /// onto every message, in one control-plane rendezvous. Every member sends
 /// to every member anyway, so the metadata that the old separate
@@ -388,6 +533,108 @@ pub fn p2p_exchange<T: Copy + Send + 'static>(
     let exits = p2p_exchange_exit_times(&np, &env, comm.members(), &entries, &matrix, flavor);
     rank.clock.sync_to(exits[comm.me()]);
     recvd
+}
+
+/// The partitioned variant of [`fused_exchange`]: metadata carries the
+/// full per-partition entry vector so every member can reconstruct the
+/// group's chunk schedule locally.
+#[allow(clippy::type_complexity)]
+fn fused_partitioned_exchange<T: Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    my_part_entries: &[SimTime],
+    my_bytes_row: Vec<usize>,
+    sends: Vec<Vec<T>>,
+) -> (Vec<Vec<SimTime>>, Vec<Vec<usize>>, Vec<Vec<T>>) {
+    let pe_ns: Vec<u64> = my_part_entries.iter().map(|t| t.as_ns()).collect();
+    if !rank.world().opts().fused_meta {
+        let meta = comm.control_allgather(rank, (pe_ns, my_bytes_row));
+        let entries = meta
+            .iter()
+            .map(|(pe, _)| pe.iter().map(|ns| SimTime::from_ns(*ns)).collect())
+            .collect();
+        let matrix = meta.into_iter().map(|(_, row)| row).collect();
+        let recvd = comm.control_exchange(rank, sends);
+        return (entries, matrix, recvd);
+    }
+    let meta = (pe_ns, my_bytes_row);
+    let combined: Vec<((Vec<u64>, Vec<usize>), Vec<T>)> =
+        sends.into_iter().map(|s| (meta.clone(), s)).collect();
+    let recvd = comm.control_exchange(rank, combined);
+    let mut entries = Vec::with_capacity(recvd.len());
+    let mut matrix = Vec::with_capacity(recvd.len());
+    let mut data = Vec::with_capacity(recvd.len());
+    for ((pe, row), payload) in recvd {
+        entries.push(pe.into_iter().map(SimTime::from_ns).collect());
+        matrix.push(row);
+        data.push(payload);
+    }
+    (entries, matrix, data)
+}
+
+/// Partitioned `MPI_Alltoallv`: the pipelined-reshape exchange. Each
+/// member's sends are split into `my_part_entries.len()` chunks by
+/// [`pattern::partition_of_step`]; `my_part_entries[k]` is when this
+/// member's chunk-`k` payload is packed and postable. Returns the received
+/// payloads plus the [`pattern::PartitionedTimes`] so the caller can begin
+/// unpacking chunk `k` at `part_ready[me][k]`. The rank clock advances to
+/// the member's exit; chunk-level overlap is the caller's to exploit.
+pub fn alltoallv_partitioned<T: Copy + Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    env: PhaseEnv,
+    sends: Vec<Vec<T>>,
+    my_part_entries: &[SimTime],
+) -> (Vec<Vec<T>>, pattern::PartitionedTimes) {
+    assert_eq!(sends.len(), comm.size(), "one send buffer per member");
+    let nparts = my_part_entries.len();
+    assert!(nparts >= 1, "at least one partition");
+    let elem = std::mem::size_of::<T>();
+    let row: Vec<usize> = sends.iter().map(|s| s.len() * elem).collect();
+    let (pes, matrix, recvd) = fused_partitioned_exchange(rank, comm, my_part_entries, row, sends);
+    assert!(
+        pes.iter().all(|pe| pe.len() == nparts),
+        "all members must agree on the partition count"
+    );
+    let np = net_params(rank);
+    let times = alltoallv_partitioned_exit_times(&np, &env, comm.members(), &pes, &matrix, nparts);
+    rank.clock.sync_to(times.exits[comm.me()]);
+    (recvd, times)
+}
+
+/// Partitioned heFFTe point-to-point exchange (blocking or non-blocking):
+/// the chunked counterpart of [`p2p_exchange`], see
+/// [`alltoallv_partitioned`] for the contract.
+pub fn p2p_exchange_partitioned<T: Copy + Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    env: PhaseEnv,
+    flavor: P2pFlavor,
+    sends: Vec<Vec<T>>,
+    my_part_entries: &[SimTime],
+) -> (Vec<Vec<T>>, pattern::PartitionedTimes) {
+    assert_eq!(sends.len(), comm.size(), "one send buffer per member");
+    let nparts = my_part_entries.len();
+    assert!(nparts >= 1, "at least one partition");
+    let elem = std::mem::size_of::<T>();
+    let row: Vec<usize> = sends.iter().map(|s| s.len() * elem).collect();
+    let (pes, matrix, recvd) = fused_partitioned_exchange(rank, comm, my_part_entries, row, sends);
+    assert!(
+        pes.iter().all(|pe| pe.len() == nparts),
+        "all members must agree on the partition count"
+    );
+    let np = net_params(rank);
+    let times = p2p_exchange_partitioned_exit_times(
+        &np,
+        &env,
+        comm.members(),
+        &pes,
+        &matrix,
+        nparts,
+        flavor,
+    );
+    rank.clock.sync_to(times.exits[comm.me()]);
+    (recvd, times)
 }
 
 /// `MPI_Barrier` (dissemination schedule).
@@ -700,6 +947,62 @@ mod tests {
                 })
                 .collect();
             p2p_exchange(r, &comm, env_for(n), P2pFlavor::NonBlocking, sends)
+        });
+        for (me, got) in out.iter().enumerate() {
+            for (src, block) in got.iter().enumerate() {
+                if me % 2 == 0 {
+                    assert_eq!(block, &vec![10 * src as u32 + me as u32]);
+                } else {
+                    assert!(block.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_alltoallv_delivers_like_monolithic() {
+        let n = 8;
+        let w = world_n(n);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let sends: Vec<Vec<u32>> = (0..n)
+                .map(|j| vec![100 * r.rank() as u32 + j as u32; j + 1])
+                .collect();
+            let pe = vec![r.now(); 4];
+            let (got, times) = alltoallv_partitioned(r, &comm, env_for(n), sends, &pe);
+            (got, times, r.now())
+        });
+        for (me, (got, times, t)) in out.iter().enumerate() {
+            assert_eq!(*t, times.exits[me], "clock must land on the exit time");
+            for r in &times.part_ready[me] {
+                assert!(*r <= times.exits[me]);
+            }
+            for (src, block) in got.iter().enumerate() {
+                assert_eq!(block.len(), me + 1, "block size from {src} to {me}");
+                assert!(block.iter().all(|v| *v == 100 * src as u32 + me as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_p2p_skips_empty_pairs_and_delivers() {
+        let n = 8;
+        let w = world_n(n);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let sends: Vec<Vec<u32>> = (0..n)
+                .map(|j| {
+                    if j % 2 == 0 {
+                        vec![10 * r.rank() as u32 + j as u32]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let pe = vec![r.now(); 3];
+            let (got, _) =
+                p2p_exchange_partitioned(r, &comm, env_for(n), P2pFlavor::NonBlocking, sends, &pe);
+            got
         });
         for (me, got) in out.iter().enumerate() {
             for (src, block) in got.iter().enumerate() {

@@ -430,6 +430,123 @@ pub fn scatter_times(
     exit
 }
 
+/// Partition index of the message a sender posts at step `step` (∈ `1..p`,
+/// peer order `(me+step) mod p`) when the exchange is split into `nparts`
+/// chunks. The `p-1` steps are divided into `nparts` contiguous,
+/// near-equal runs; both sender and receiver compute the same index for a
+/// given (src, dst) pair because the step is `(dst - src) mod p` from
+/// either side — this is what makes the chunk structure a global property
+/// of the exchange rather than a per-rank convention.
+pub fn partition_of_step(step: usize, p: usize, nparts: usize) -> usize {
+    debug_assert!(p >= 2 && step >= 1 && step < p && nparts >= 1);
+    ((step - 1) * nparts / (p - 1)).min(nparts - 1)
+}
+
+/// Result of a partitioned scatter: when each receive chunk has fully
+/// landed, plus the overall per-member exit times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedTimes {
+    /// `part_ready[i][k]`: the time member `i` has received (drained and
+    /// matched) every chunk-`k` message destined to it. Unpack for chunk
+    /// `k` may start here — before later chunks (or the member's own
+    /// sends) have finished.
+    pub part_ready: Vec<Vec<SimTime>>,
+    /// Per-member call-completion time: all sends injected and all
+    /// receives drained. `exits[i] >= part_ready[i][k]` for every `k`.
+    pub exits: Vec<SimTime>,
+}
+
+/// Prices a **partitioned scatter**: the chunked variant of
+/// [`scatter_times`] behind the pipelined reshape path. Each member's
+/// messages are split into `nparts` chunks by [`partition_of_step`];
+/// `part_entries[i][k]` is the earliest time member `i` may post its
+/// chunk-`k` sends (its chunk-`k` pack completion). The send chain still
+/// serializes on the member's NIC in peer order, but a message now also
+/// waits for its own chunk's entry — so early chunks inject while late
+/// chunks are still packing.
+///
+/// The receive side mirrors [`scatter_times`]' RX-drain model but
+/// attributes each completed message to its chunk, charging the CPU-side
+/// completion cost (`RECV_OVERHEAD_NS` + `extra_recv_ns`) inline per
+/// message: a chunked wait loop (`MPI_Waitany` per partition) completes
+/// messages as they land rather than in one trailing pass, which is
+/// exactly what lets unpack overlap the remaining receives.
+///
+/// Time-shift invariant like every walker here (required by the memo).
+#[allow(clippy::too_many_arguments)]
+pub fn partitioned_scatter_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    group: &[usize],
+    part_entries: &[Vec<SimTime>],
+    bytes: &dyn Fn(usize, usize) -> usize,
+    flavor: P2pFlavor,
+    post_zero: bool,
+    extra_send_ns: &dyn Fn(usize, usize) -> u64,
+    extra_recv_ns: &dyn Fn(usize, usize) -> u64,
+) -> PartitionedTimes {
+    let p = group.len();
+    assert_eq!(part_entries.len(), p);
+    let nparts = part_entries.first().map(|pe| pe.len()).unwrap_or(0);
+    assert!(
+        part_entries.iter().all(|pe| pe.len() == nparts) && (p == 0 || nparts >= 1),
+        "every member must supply one entry time per partition"
+    );
+    if p == 0 {
+        return PartitionedTimes {
+            part_ready: Vec::new(),
+            exits: Vec::new(),
+        };
+    }
+
+    // Send pass: per-sender NIC serialization as in `scatter_times`, with
+    // each message additionally gated on its own chunk's entry time.
+    let mut arrivals: Vec<Vec<(SimTime, usize, usize)>> = vec![Vec::new(); p]; // (arrival, src, part)
+    let mut send_done = vec![SimTime::ZERO; p];
+    for i in 0..p {
+        let pe = &part_entries[i];
+        let mut t = pe[0] + SimTime::from_ns(selfcopy_ns(np, env, group[i], bytes(i, i)));
+        let mut nic = t;
+        for k in 1..p {
+            let j = (i + k) % p;
+            let part = partition_of_step(k, p, nparts);
+            t = t.max(pe[part]);
+            let b = bytes(i, j);
+            if b == 0 && !post_zero {
+                continue;
+            }
+            let post = t + SimTime::from_ns(SEND_OVERHEAD_NS + extra_send_ns(i, j));
+            let (inject, lat) = msg_parts(np, env, b, group[i], group[j]);
+            let start = post.max(nic);
+            let end = start + SimTime::from_ns(inject);
+            nic = end;
+            arrivals[j].push((end + SimTime::from_ns(lat), i, part));
+            t = match flavor {
+                P2pFlavor::Blocking => end,
+                P2pFlavor::NonBlocking => post,
+            };
+        }
+        send_done[i] = t.max(nic);
+    }
+
+    // Receive pass: drain in arrival order, completing each message (CPU
+    // matching cost inline) and stamping its chunk's ready time.
+    let mut part_ready: Vec<Vec<SimTime>> =
+        part_entries.iter().map(|pe| vec![pe[0]; nparts]).collect();
+    let mut exits = vec![SimTime::ZERO; p];
+    for j in 0..p {
+        arrivals[j].sort_unstable();
+        let mut rx = part_entries[j][0];
+        for &(arr, src, part) in &arrivals[j] {
+            let (drain, _lat) = msg_parts(np, env, bytes(src, j), group[src], group[j]);
+            rx = rx.max(arr) + SimTime::from_ns(drain + RECV_OVERHEAD_NS + extra_recv_ns(src, j));
+            part_ready[j][part] = part_ready[j][part].max(rx);
+        }
+        exits[j] = send_done[j].max(rx);
+    }
+    PartitionedTimes { part_ready, exits }
+}
+
 /// Prices a dissemination **barrier**: `⌈log₂ p⌉` zero-byte rounds.
 pub fn barrier_times(
     np: &NetParams,
@@ -664,6 +781,113 @@ mod tests {
         let t8 = tree_time(&np(&spec), &env, &g8, &zeros(8), 4096, false);
         let t64 = tree_time(&np(&spec), &env, &g64, &zeros(64), 4096, false);
         assert!(t64 > t8);
+    }
+
+    #[test]
+    fn partition_of_step_covers_all_parts_in_order() {
+        // 8-rank group, 7 steps, 4 chunks: contiguous non-decreasing runs
+        // that start at 0 and end at nparts-1.
+        let parts: Vec<usize> = (1..8).map(|s| partition_of_step(s, 8, 4)).collect();
+        assert_eq!(parts.first(), Some(&0));
+        assert_eq!(parts.last(), Some(&3));
+        assert!(parts.windows(2).all(|w| w[0] <= w[1] && w[1] - w[0] <= 1));
+        // More chunks than peers: every step still gets a valid index.
+        for s in 1..4 {
+            assert!(partition_of_step(s, 4, 16) < 16);
+        }
+    }
+
+    fn part_zeros(p: usize, k: usize) -> Vec<Vec<SimTime>> {
+        vec![vec![SimTime::ZERO; k]; p]
+    }
+
+    fn run_part(
+        spec: &MachineSpec,
+        part_entries: &[Vec<SimTime>],
+        per_pair: usize,
+    ) -> PartitionedTimes {
+        let p = part_entries.len();
+        let group: Vec<usize> = (0..p).collect();
+        let env = PhaseEnv::machine_wide(spec, p, p - 1, true, 1);
+        partitioned_scatter_times(
+            &np(spec),
+            &env,
+            &group,
+            part_entries,
+            &|_, _| per_pair,
+            P2pFlavor::NonBlocking,
+            true,
+            &|_, _| 0,
+            &|_, _| 0,
+        )
+    }
+
+    #[test]
+    fn partitioned_exits_bound_every_chunk_ready() {
+        let spec = MachineSpec::summit();
+        let t = run_part(&spec, &part_zeros(8, 4), 1 << 18);
+        for (i, pr) in t.part_ready.iter().enumerate() {
+            for r in pr {
+                assert!(*r <= t.exits[i], "chunk ready after exit on member {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_exit_monotone_in_bytes() {
+        let spec = MachineSpec::summit();
+        let small = run_part(&spec, &part_zeros(8, 4), 1 << 12);
+        let large = run_part(&spec, &part_zeros(8, 4), 1 << 20);
+        for (s, l) in small.exits.iter().zip(&large.exits) {
+            assert!(l > s);
+        }
+    }
+
+    #[test]
+    fn partitioned_entries_shift_everything() {
+        let spec = MachineSpec::summit();
+        let base = run_part(&spec, &part_zeros(8, 4), 1 << 16);
+        let shifted_pe: Vec<Vec<SimTime>> = part_zeros(8, 4)
+            .into_iter()
+            .map(|pe| pe.into_iter().map(|t| t + SimTime::from_us(100)).collect())
+            .collect();
+        let shifted = run_part(&spec, &shifted_pe, 1 << 16);
+        for (b, s) in base.exits.iter().zip(&shifted.exits) {
+            assert_eq!(s.as_ns() - b.as_ns(), 100_000);
+        }
+        for (bp, sp) in base.part_ready.iter().zip(&shifted.part_ready) {
+            for (b, s) in bp.iter().zip(sp) {
+                assert_eq!(s.as_ns() - b.as_ns(), 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn early_chunks_land_while_late_packs_are_still_running() {
+        // The overlap win: delay everyone's *last* chunk entry by 1 ms.
+        // Chunk-0 messages must still land at their original time, and the
+        // exchange as a whole must finish earlier than if the whole
+        // monolithic exchange had waited for the last pack.
+        let spec = MachineSpec::summit();
+        let k = 4;
+        let base = run_part(&spec, &part_zeros(8, k), 1 << 18);
+        let late = SimTime::from_ms(1);
+        let mut pe = part_zeros(8, k);
+        for row in &mut pe {
+            row[k - 1] = late;
+        }
+        let staggered = run_part(&spec, &pe, 1 << 18);
+        for (b, s) in base.part_ready.iter().zip(&staggered.part_ready) {
+            assert_eq!(s[0], b[0], "chunk 0 must not wait on chunk {}", k - 1);
+        }
+        // Monolithic equivalent: every message gated on the last pack.
+        let all_late = run_part(&spec, &vec![vec![late; k]; 8], 1 << 18);
+        for (s, m) in staggered.exits.iter().zip(&all_late.exits) {
+            assert!(
+                s < m,
+                "pipelined exit {s} should beat pack-barrier exit {m}"
+            );
+        }
     }
 
     #[test]

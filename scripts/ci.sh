@@ -28,6 +28,18 @@ echo "== cargo test (FFT_SIMD=off) =="
 # detected tier.)
 FFT_SIMD=off cargo test --workspace --offline -q
 
+echo "== cargo test (FFT_RESHAPE_CHUNKS=4) =="
+# Pipelined reshapes forced on for every plan (DESIGN.md §14): the whole
+# suite — correctness, mode consistency, invariants — must hold with every
+# eligible exchange split into per-peer chunks. A/B tests that compare
+# chunked vs monolithic detect the override and skip themselves.
+FFT_RESHAPE_CHUNKS=4 cargo test --workspace --offline -q
+
+echo "== cargo test (FFT_RESHAPE_CHUNKS=1) =="
+# And forced off: plans that ask for chunking fall back to the monolithic
+# path, which must stay the bit-identical baseline.
+FFT_RESHAPE_CHUNKS=1 cargo test --workspace --offline -q
+
 echo "== SIMD feature-detection smoke =="
 # Prints what the dispatcher sees (CPU features, detected/active tier) and
 # transforms once per available tier, failing on any bitwise divergence
