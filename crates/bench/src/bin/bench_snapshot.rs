@@ -326,19 +326,6 @@ fn efficiency_metrics() -> (distfft::PoolStats, u64, u64) {
     (pool, plan_cache().hits(), plan_cache().misses())
 }
 
-/// Runs a command and returns its trimmed stdout, or `"unknown"`.
-fn stamp(cmd: &str, args: &[&str]) -> String {
-    std::process::Command::new(cmd)
-        .args(args)
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 /// Span-duration percentiles (ns) over one deterministic protocol run of
 /// the headline distributed configuration, estimated from a log₂
 /// histogram — the same estimator the live metrics registry uses.
@@ -368,7 +355,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--trace-out" | "--profile-out" => {
+            "--trace-out" | "--profile-out" | "--ledger" => {
                 let _ = args.next();
             }
             "--metrics" => {}
@@ -419,14 +406,19 @@ fn main() {
     // Environment stamps: enough to interpret a regression report without
     // the machine it came from. `simd` is the tier the warm legs actually
     // dispatched; `cpu` the detected feature set — a 1.7× pow2 row from an
-    // AVX-512 box and a scalar box are not comparable numbers.
+    // AVX-512 box and a scalar box are not comparable numbers. The
+    // executor knobs (`reshape_chunks`, `exec_grain`) ride along because
+    // they change the overlap schedule and the parallel split, two of the
+    // biggest levers on the distributed rows.
     json.push_str(&format!(
-        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}, \"simd\": \"{}\", \"cpu\": \"{}\"}},\n",
-        stamp("rustc", &["-V"]),
-        stamp("git", &["rev-parse", "--short", "HEAD"]),
+        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}, \"simd\": \"{}\", \"cpu\": \"{}\", \"reshape_chunks\": {}, \"exec_grain\": {}}},\n",
+        fft_bench::run_stamp("rustc", &["-V"]),
+        fft_bench::run_stamp("git", &["rev-parse", "--short", "HEAD"]),
         fftmodels::sweep_threads(),
         simd::active_tier().name(),
-        simd::detected_features()
+        simd::detected_features(),
+        distfft::exec::reshape_chunks_setting(1),
+        distfft::exec::par_min_elems()
     ));
     json.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -475,7 +467,8 @@ fn main() {
         );
         obs.emit(&traces);
     }
-    // --profile-out profiles the same configuration.
+    // --profile-out / --ledger profile the same configuration; the ledger
+    // additionally appends a fingerprinted record for regression history.
     if obs.profiling() {
         let profile = fftprof::profile_config(
             "bench_snapshot_64cubed_24r",
@@ -486,6 +479,7 @@ fn main() {
             true,
         );
         obs.emit_profile(&profile);
+        obs.emit_ledger(&profile);
     }
 
     std::fs::write(&out_path, &json).expect("write snapshot");

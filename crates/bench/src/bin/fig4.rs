@@ -137,5 +137,6 @@ fn main() {
             true,
         );
         obs.emit_profile(&profile);
+        obs.emit_ledger(&profile);
     }
 }

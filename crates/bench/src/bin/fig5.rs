@@ -125,5 +125,6 @@ fn main() {
             a2a
         };
         obs.emit_profile(&winner);
+        obs.emit_ledger(&winner);
     }
 }

@@ -18,7 +18,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--trace-out" | "--profile-out" => {
+            "--trace-out" | "--profile-out" | "--ledger" => {
                 let _ = args.next();
             }
             "--metrics" => {}
@@ -121,5 +121,6 @@ fn main() {
             choice.gpu_aware,
         );
         obs.emit_profile(&profile);
+        obs.emit_ledger(&profile);
     }
 }

@@ -230,13 +230,15 @@ pub fn fmt_ms(t: SimTime) -> String {
 pub struct Obs {
     trace_out: Option<std::path::PathBuf>,
     profile_out: Option<std::path::PathBuf>,
+    ledger_out: Option<std::path::PathBuf>,
     metrics: bool,
 }
 
 impl Obs {
-    /// Parses `--trace-out <file>` / `--profile-out <file>` / `--metrics`
-    /// from `std::env::args` and enables metric recording when any is
-    /// requested.
+    /// Parses `--trace-out <file>` / `--profile-out <file>` /
+    /// `--ledger <file>` / `--metrics` from `std::env::args` and enables
+    /// metric recording when any is requested. `FFT_LEDGER=<file>` is the
+    /// env-var spelling of `--ledger` for harnesses driven by scripts.
     pub fn from_env() -> Obs {
         let mut obs = Obs::default();
         let mut args = std::env::args().skip(1);
@@ -254,8 +256,21 @@ impl Obs {
                         .unwrap_or_else(|| panic!("--profile-out requires a file argument"));
                     obs.profile_out = Some(std::path::PathBuf::from(file));
                 }
+                "--ledger" => {
+                    let file = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--ledger requires a file argument"));
+                    obs.ledger_out = Some(std::path::PathBuf::from(file));
+                }
                 "--metrics" => obs.metrics = true,
                 _ => {}
+            }
+        }
+        if obs.ledger_out.is_none() {
+            if let Ok(path) = std::env::var("FFT_LEDGER") {
+                if !path.trim().is_empty() {
+                    obs.ledger_out = Some(std::path::PathBuf::from(path));
+                }
             }
         }
         if std::env::var("FFT_METRICS")
@@ -272,12 +287,16 @@ impl Obs {
 
     /// True when any observability output was requested.
     pub fn active(&self) -> bool {
-        self.trace_out.is_some() || self.profile_out.is_some() || self.metrics
+        self.trace_out.is_some()
+            || self.profile_out.is_some()
+            || self.ledger_out.is_some()
+            || self.metrics
     }
 
-    /// True when `--profile-out` was requested.
+    /// True when `--profile-out` or `--ledger` was requested — both need
+    /// the harness to run the profiler.
     pub fn profiling(&self) -> bool {
-        self.profile_out.is_some()
+        self.profile_out.is_some() || self.ledger_out.is_some()
     }
 
     /// Writes a profile to the `--profile-out` file (JSON) and its
@@ -301,6 +320,51 @@ impl Obs {
         write(folded.into(), profile.to_collapsed(), "collapsed stacks");
     }
 
+    /// Appends one ledger record for `profile` to the `--ledger` file:
+    /// the profile's phase/contention/residual data, the current metrics
+    /// snapshot, an environment stamp, and a config fingerprint extended
+    /// with the runtime knobs that shape timing (SIMD tier, executor
+    /// threads, parallel grain, reshape chunking). No-op when no ledger
+    /// was requested; writes only to the ledger file and stderr, so the
+    /// harness's stdout stays byte-identical either way.
+    pub fn emit_ledger(&self, profile: &fftprof::Profile) {
+        let Some(path) = &self.ledger_out else {
+            return;
+        };
+        // Wall-clock is fine here: the bench harness is host-side tooling,
+        // not part of the simulation (fftledger itself never reads a clock).
+        let ts_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let env = fftledger::EnvStamp {
+            rustc: run_stamp("rustc", &["-V"]),
+            git_rev: run_stamp("git", &["rev-parse", "--short", "HEAD"]),
+            cpu: fftkern::simd::detected_features(),
+            threads: fftmodels::sweep_threads() as u64,
+        };
+        let snapshot = fftobs::registry().snapshot();
+        let mut record =
+            fftledger::LedgerRecord::from_profile(ts_ns, &profile.label, env, profile, &snapshot);
+        record
+            .fingerprint
+            .set("simd", fftkern::simd::active_tier().name())
+            .set("exec_threads", distfft::exec::exec_threads())
+            .set("exec_grain", distfft::exec::par_min_elems())
+            .set("reshape_chunks", distfft::exec::reshape_chunks_setting(1));
+        match fftledger::Ledger::append(path, &record) {
+            Ok(()) => eprintln!(
+                "ledger record {} appended to {}",
+                record.fingerprint.digest(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: failed to append ledger to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
     /// Emits the requested artifacts for the harness's per-rank traces:
     /// Chrome-trace JSON to the `--trace-out` file, span summary plus
     /// metrics snapshot to stderr under `--metrics`.
@@ -322,6 +386,21 @@ impl Obs {
             eprint!("{}", fftobs::registry().snapshot().render_text());
         }
     }
+}
+
+/// Runs a command and returns its trimmed stdout, or `"unknown"` — used
+/// for `rustc -V` / `git rev-parse` environment stamps on snapshots and
+/// ledger records.
+pub fn run_stamp(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// A minimal aligned text table.

@@ -14,7 +14,6 @@
 //! Fig. 13.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::OnceLock;
 
 use fftkern::plan::Layout;
@@ -30,38 +29,14 @@ use crate::plan::{CommBackend, FftPlan, Step};
 use crate::reshape::{apply_self_block, ReshapeSpec};
 use crate::trace::{KernelKind, Trace, TraceEvent};
 
-/// Parses an executor tuning variable: `Some(max(n, 1))` when the string is
-/// a valid integer, `None` when it isn't (the caller warns and falls back).
-/// Pure so the accept/reject behavior is unit-testable without touching
-/// process-global environment state.
-fn parse_exec_var(v: &str) -> Option<usize> {
-    v.trim().parse::<usize>().ok().map(|n| n.max(1))
-}
-
-/// Warns once per `flag` (per process) that `var` was set to an unparsable
-/// `value`. A silently ignored tuning knob is worse than no knob: a typoed
-/// `FFT_EXEC_THREADS=fourteen` used to quietly run serial benchmarks.
-fn warn_bad_env_once(flag: &AtomicBool, var: &str, value: &str, fallback: &str) {
-    if !flag.swap(true, AtomicOrdering::Relaxed) {
-        eprintln!("distfft: ignoring unparsable {var}={value:?} (expected a positive integer); using {fallback}");
-    }
-}
-
 /// Worker-thread count for the parallel executor: the `FFT_EXEC_THREADS`
 /// environment variable if set (and ≥ 1), otherwise 1 (serial). Unlike the
 /// sweep harnesses, the executor defaults to serial: rank programs already
 /// run one thread per rank, so oversubscription is an explicit opt-in.
-/// An unparsable value warns once to stderr instead of silently running
-/// serial.
+/// An unparsable value warns once to stderr (via the shared
+/// [`fftobs::env`] helper) instead of silently running serial.
 pub fn exec_threads() -> usize {
-    static WARNED: AtomicBool = AtomicBool::new(false);
-    if let Ok(v) = std::env::var("FFT_EXEC_THREADS") {
-        match parse_exec_var(&v) {
-            Some(n) => return n,
-            None => warn_bad_env_once(&WARNED, "FFT_EXEC_THREADS", &v, "1 (serial)"),
-        }
-    }
-    1
+    fftobs::env::positive_var("FFT_EXEC_THREADS", "1 (serial)").unwrap_or(1)
 }
 
 /// Minimum number of complex elements a local-FFT or pack/unpack call must
@@ -82,17 +57,9 @@ const PAR_MIN_ELEMS: usize = 8192;
 /// in principle see a mutated environment mid-transform.
 pub fn par_min_elems() -> usize {
     static GRAIN: OnceLock<usize> = OnceLock::new();
-    static WARNED: AtomicBool = AtomicBool::new(false);
     *GRAIN.get_or_init(|| {
-        if let Ok(v) = std::env::var("FFT_EXEC_GRAIN") {
-            match parse_exec_var(&v) {
-                Some(n) => return n,
-                None => {
-                    warn_bad_env_once(&WARNED, "FFT_EXEC_GRAIN", &v, "the built-in grain (8192)")
-                }
-            }
-        }
-        PAR_MIN_ELEMS
+        fftobs::env::positive_var("FFT_EXEC_GRAIN", "the built-in grain (8192)")
+            .unwrap_or(PAR_MIN_ELEMS)
     })
 }
 
@@ -104,21 +71,8 @@ pub fn par_min_elems() -> usize {
 /// disagree mid-run.
 pub fn reshape_chunks_setting(opt_chunks: usize) -> usize {
     static CHUNKS: OnceLock<Option<usize>> = OnceLock::new();
-    static WARNED: AtomicBool = AtomicBool::new(false);
-    let env = *CHUNKS.get_or_init(|| match std::env::var("FFT_RESHAPE_CHUNKS") {
-        Ok(v) => match parse_exec_var(&v) {
-            Some(n) => Some(n),
-            None => {
-                warn_bad_env_once(
-                    &WARNED,
-                    "FFT_RESHAPE_CHUNKS",
-                    &v,
-                    "the plan's reshape_chunks option",
-                );
-                None
-            }
-        },
-        Err(_) => None,
+    let env = *CHUNKS.get_or_init(|| {
+        fftobs::env::positive_var("FFT_RESHAPE_CHUNKS", "the plan's reshape_chunks option")
     });
     env.unwrap_or(opt_chunks).max(1)
 }
@@ -162,7 +116,7 @@ pub(crate) fn pipelined_k(
 /// ([`mpisim::par::par_parts`]). Work unit `i` always runs on worker
 /// `i % threads` against that worker's arena, so results stay bit-identical
 /// to the serial path and per-arena [`PoolStats`] stay deterministic.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecCtx {
     strided_seen: BTreeSet<(usize, usize, bool)>,
     call_counter: u64,
@@ -172,6 +126,47 @@ pub struct ExecCtx {
     /// Pre-overhaul baseline mode: legacy radix-2 kernels, a fresh plan
     /// built per call, no plan-cache participation. Benchmark-only.
     baseline: bool,
+    /// Completed [`execute`] calls through this context.
+    runs: u64,
+    /// Run-completion observer (see [`on_run_completion`]
+    /// (ExecCtx::on_run_completion)).
+    on_run: Option<RunHook>,
+}
+
+/// A run-completion observer: shared so a cloned context keeps reporting
+/// to the same sink.
+pub type RunHook = std::sync::Arc<dyn Fn(&ExecRunSummary) + Send + Sync>;
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("strided_seen", &self.strided_seen)
+            .field("call_counter", &self.call_counter)
+            .field("arenas", &self.arenas)
+            .field("baseline", &self.baseline)
+            .field("runs", &self.runs)
+            .field("on_run", &self.on_run.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+/// What one completed [`execute`] call looked like from its context —
+/// handed to the [`ExecCtx::on_run_completion`] observer. Everything here
+/// is already-computed bookkeeping: assembling the summary adds no timing
+/// work, and the observer runs after `rank.clock` has synced, so it can
+/// never perturb simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRunSummary {
+    /// 1-based sequence number of this run within the context.
+    pub seq: u64,
+    /// Local complex elements transformed (per-rank volume × batch).
+    pub elems: usize,
+    /// Executor worker count of the context.
+    pub threads: usize,
+    /// Simulated duration of this run, ns.
+    pub elapsed_ns: u64,
+    /// Cumulative scratch-pool statistics (all arenas, all runs so far).
+    pub pool: PoolStats,
 }
 
 impl Default for ExecCtx {
@@ -194,7 +189,25 @@ impl ExecCtx {
             call_counter: 0,
             arenas: vec![ExecScratch::default(); threads.max(1)],
             baseline: false,
+            runs: 0,
+            on_run: None,
         }
+    }
+
+    /// Installs an observer called once at the end of every [`execute`]
+    /// through this context, with that run's [`ExecRunSummary`]. This is
+    /// the emit hook the performance ledger rides on: a bench harness
+    /// installs a closure that forwards pool/throughput numbers into its
+    /// ledger record, and the executor itself stays free of any ledger
+    /// dependency. Observers observe — the summary is computed after the
+    /// rank clock has synced, so a hook can never alter simulated time.
+    pub fn on_run_completion(&mut self, hook: RunHook) {
+        self.on_run = Some(hook);
+    }
+
+    /// Completed [`execute`] calls through this context.
+    pub fn runs(&self) -> u64 {
+        self.runs
     }
 
     /// A context that reproduces the **pre-overhaul** executor: serial,
@@ -550,6 +563,17 @@ pub fn execute(
         .max(rank.now())
         .max(data_ready.iter().copied().fold(SimTime::ZERO, SimTime::max));
     rank.clock.sync_to(total);
+    ctx.runs += 1;
+    if let Some(hook) = &ctx.on_run {
+        let summary = ExecRunSummary {
+            seq: ctx.runs,
+            elems: expect * plan.opts.batch,
+            threads: ctx.threads(),
+            elapsed_ns: total.as_ns() - t0.as_ns(),
+            pool: ctx.pool_stats(),
+        };
+        hook(&summary);
+    }
     ExecResult { trace, total }
 }
 
@@ -1298,24 +1322,14 @@ fn run_alltoallw(
 
 #[cfg(test)]
 mod tests {
-    use super::parse_exec_var;
-
     #[test]
-    fn exec_var_parsing_accepts_integers_and_clamps() {
-        assert_eq!(parse_exec_var("4"), Some(4));
-        assert_eq!(parse_exec_var(" 16 "), Some(16));
-        // Clamped ≥ 1: 0 workers/elements is nonsense, not an error.
-        assert_eq!(parse_exec_var("0"), Some(1));
-    }
-
-    #[test]
-    fn exec_var_parsing_rejects_garbage() {
-        // These fall back (with a once-per-process stderr warning at the
-        // call sites) instead of silently running with defaults.
-        assert_eq!(parse_exec_var("fourteen"), None);
-        assert_eq!(parse_exec_var(""), None);
-        assert_eq!(parse_exec_var("-2"), None);
-        assert_eq!(parse_exec_var("4.5"), None);
+    fn exec_knobs_use_the_shared_clamping_parse() {
+        // The accept/reject behavior (integers clamped ≥ 1, garbage
+        // rejected with a warn-once at the call sites) lives in
+        // `fftobs::env` now — pin the contract the executor relies on.
+        assert_eq!(fftobs::env::parse_positive("4"), Some(4));
+        assert_eq!(fftobs::env::parse_positive("0"), Some(1));
+        assert_eq!(fftobs::env::parse_positive("fourteen"), None);
     }
 
     #[test]

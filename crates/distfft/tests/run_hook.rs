@@ -1,0 +1,109 @@
+//! The [`ExecCtx::on_run_completion`] emit hook: fires once per
+//! `execute`, reports consistent bookkeeping, and never changes results
+//! or simulated timing — it is the attachment point the performance
+//! ledger (fftledger) rides on, so "observer only" is a contract.
+
+use std::sync::{Arc, Mutex};
+
+use distfft::boxes::Box3;
+use distfft::exec::{bind, execute, ExecCtx, ExecRunSummary};
+use distfft::plan::{FftOptions, FftPlan};
+use fftkern::{Direction, C64};
+use mpisim::comm::{Comm, World, WorldOpts};
+use simgrid::{MachineSpec, SimTime};
+
+const N: [usize; 3] = [8, 8, 8];
+const RANKS: usize = 4;
+
+/// Forward+inverse on every rank; `hook = true` installs a summary
+/// collector. Returns (per-rank output bits, per-rank completion time,
+/// collected summaries in rank-major order).
+#[allow(clippy::type_complexity)]
+fn run(hook: bool) -> (Vec<Vec<(u64, u64)>>, Vec<SimTime>, Vec<Vec<ExecRunSummary>>) {
+    let plan = FftPlan::build(N, RANKS, FftOptions::default());
+    let world = World::new(MachineSpec::testbox(2), RANKS, WorldOpts::default());
+    let whole = Box3::whole(N);
+    let global: Vec<C64> = (0..N[0] * N[1] * N[2])
+        .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.53).cos()))
+        .collect();
+    let plan_ref = &plan;
+    let per_rank = world.run(move |rank| {
+        let comm = Comm::world(rank);
+        let bound = bind(plan_ref, rank, &comm);
+        let mut ctx = ExecCtx::with_threads(1);
+        let seen: Arc<Mutex<Vec<ExecRunSummary>>> = Arc::new(Mutex::new(Vec::new()));
+        if hook {
+            let sink = Arc::clone(&seen);
+            ctx.on_run_completion(Arc::new(move |s: &ExecRunSummary| {
+                sink.lock().unwrap().push(*s);
+            }));
+        }
+        let b = plan_ref.dists[0].rank_box(rank.rank());
+        let mut data = vec![whole.extract(&global, b)];
+        let _ = execute(
+            plan_ref,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Forward,
+        );
+        let rep = execute(
+            plan_ref,
+            &bound,
+            &mut ctx,
+            rank,
+            &comm,
+            &mut data,
+            Direction::Inverse,
+        );
+        assert_eq!(ctx.runs(), 2);
+        let bits: Vec<(u64, u64)> = data[0]
+            .iter()
+            .map(|c| (c.re.to_bits(), c.im.to_bits()))
+            .collect();
+        let collected = seen.lock().unwrap().clone();
+        (bits, rep.total, collected)
+    });
+    let mut bits = Vec::new();
+    let mut times = Vec::new();
+    let mut summaries = Vec::new();
+    for (b, t, s) in per_rank {
+        bits.push(b);
+        times.push(t);
+        summaries.push(s);
+    }
+    (bits, times, summaries)
+}
+
+#[test]
+fn hook_fires_once_per_run_with_consistent_bookkeeping() {
+    let (_, _, summaries) = run(true);
+    let elems = N[0] * N[1] * N[2] / RANKS;
+    for (rank, per_run) in summaries.iter().enumerate() {
+        assert_eq!(per_run.len(), 2, "rank {rank}: one summary per execute");
+        assert_eq!(per_run[0].seq, 1);
+        assert_eq!(per_run[1].seq, 2);
+        for s in per_run {
+            assert_eq!(s.elems, elems);
+            assert_eq!(s.threads, 1);
+            assert!(s.elapsed_ns > 0, "a transform takes simulated time");
+        }
+        // Pool stats are cumulative: the second run has seen at least as
+        // many takes as the first, and the warm run mostly hits.
+        let (p0, p1) = (per_run[0].pool, per_run[1].pool);
+        assert!(p1.hits + p1.misses >= p0.hits + p0.misses);
+        assert!(p1.hits > p0.hits, "warm run must recycle buffers");
+    }
+}
+
+#[test]
+fn hook_is_a_pure_observer() {
+    // Results and simulated completion times must be bit-identical with
+    // and without the hook installed.
+    let (bits_off, times_off, _) = run(false);
+    let (bits_on, times_on, _) = run(true);
+    assert_eq!(bits_off, bits_on, "hook must not change data");
+    assert_eq!(times_off, times_on, "hook must not change timing");
+}

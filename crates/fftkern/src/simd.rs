@@ -109,22 +109,21 @@ pub fn env_tier() -> SimdTier {
     static ENV: OnceLock<SimdTier> = OnceLock::new();
     *ENV.get_or_init(|| {
         let detected = detected_tier();
-        let Ok(v) = std::env::var("FFT_SIMD") else {
-            return detected;
-        };
-        match v.trim().to_ascii_lowercase().as_str() {
-            "off" | "scalar" => SimdTier::Scalar,
-            "avx2" => SimdTier::Avx2.min(detected),
-            "avx512" => SimdTier::Avx512.min(detected),
-            "" | "auto" => detected,
-            other => {
-                eprintln!(
-                    "fftkern: unknown FFT_SIMD value {other:?} \
-                     (expected off|avx2|avx512|auto); using auto"
-                );
-                detected
-            }
-        }
+        // Parsed through the shared warn-once helper: an unknown value
+        // warns once to stderr and falls back to auto (detection).
+        fftobs::env::parse_var(
+            "FFT_SIMD",
+            "off|scalar|avx2|avx512|auto",
+            "auto",
+            |v| match v.trim().to_ascii_lowercase().as_str() {
+                "off" | "scalar" => Some(SimdTier::Scalar),
+                "avx2" => Some(SimdTier::Avx2.min(detected)),
+                "avx512" => Some(SimdTier::Avx512.min(detected)),
+                "" | "auto" => Some(detected),
+                _ => None,
+            },
+        )
+        .unwrap_or(detected)
     })
 }
 

@@ -1,0 +1,252 @@
+//! `fftdash` — terminal dashboard over the performance ledger.
+//!
+//! ```text
+//! fftdash [--ledger <file>] [--config <digest|label>] [--threshold <pct>]
+//!         [--list] [--history] [--trends] [--detect] [--diff]
+//!         [--assert-zero] [--gate]
+//! ```
+//!
+//! With no view flags, lists the configurations in the ledger. All views
+//! operate on one configuration's history — selected by `--config`
+//! (a fingerprint digest, digest prefix, or run label), defaulting to the
+//! configuration of the most recent record.
+//!
+//! * `--history` — per-phase stacked bar per run.
+//! * `--trends` — cache/pool hit-rate columns per run.
+//! * `--detect` — straggler ranks (MAD) and contention hotspots of the
+//!   latest run.
+//! * `--diff` — run-over-run differential report (last two runs).
+//! * `--assert-zero` — with `--diff`: exit 1 unless the diff is all zeros
+//!   (the CI self-diff smoke).
+//! * `--gate` — phase-level regression gate: compare the latest run
+//!   against the previous run of the same configuration; exit 1 naming
+//!   every phase that grew past `--threshold` (default 25%).
+//!
+//! Exit codes: 0 success, 1 gate/assert failure, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use fftledger::{
+    dash, detect_hotspots, detect_stragglers, gate_phases, ledger::resolve_path, GateOutcome,
+    Ledger, LedgerRecord,
+};
+
+struct Args {
+    ledger: Option<String>,
+    config: Option<String>,
+    threshold: f64,
+    list: bool,
+    history: bool,
+    trends: bool,
+    detect: bool,
+    diff: bool,
+    assert_zero: bool,
+    gate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ledger: None,
+        config: None,
+        threshold: 0.25,
+        list: false,
+        history: false,
+        trends: false,
+        detect: false,
+        diff: false,
+        assert_zero: false,
+        gate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ledger" => args.ledger = Some(it.next().ok_or("--ledger needs a path")?),
+            "--config" => args.config = Some(it.next().ok_or("--config needs a value")?),
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a percentage")?;
+                let pct: f64 = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
+                args.threshold = pct / 100.0;
+            }
+            "--list" => args.list = true,
+            "--history" => args.history = true,
+            "--trends" => args.trends = true,
+            "--detect" => args.detect = true,
+            "--diff" => args.diff = true,
+            "--assert-zero" => args.assert_zero = true,
+            "--gate" => args.gate = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !(args.history || args.trends || args.detect || args.diff || args.gate) {
+        args.list = true;
+    }
+    Ok(args)
+}
+
+/// Picks the config digest: explicit digest / digest prefix / label match,
+/// else the fingerprint of the most recent record.
+fn select_digest(ledger: &Ledger, wanted: Option<&str>) -> Result<String, String> {
+    let configs = ledger.configs();
+    match wanted {
+        Some(w) => configs
+            .iter()
+            .find(|(d, l, _)| d == w || d.starts_with(w) || l == w)
+            .map(|(d, _, _)| d.clone())
+            .ok_or_else(|| format!("no config matching {w:?} in the ledger")),
+        None => ledger
+            .records
+            .last()
+            .map(|r| r.fingerprint.digest())
+            .ok_or_else(|| "ledger is empty".to_string()),
+    }
+}
+
+fn render_detect(latest: &LedgerRecord) -> String {
+    let mut out = String::new();
+    let stragglers = detect_stragglers(latest);
+    if stragglers.is_empty() {
+        out.push_str("stragglers: none\n");
+    } else {
+        out.push_str("stragglers (MAD z > 3.5):\n");
+        for s in &stragglers {
+            out.push_str(&format!(
+                "  rank {:>4}  busy {:>12} ns  median {:>12} ns  z {:.1}\n",
+                s.rank, s.busy_ns, s.median_ns, s.z
+            ));
+        }
+    }
+    let hotspots = detect_hotspots(latest, fftledger::detect::HOTSPOT_RATIO);
+    if hotspots.is_empty() {
+        out.push_str("contention hotspots: none\n");
+    } else {
+        out.push_str("contention hotspots (queue > ideal):\n");
+        for h in &hotspots {
+            out.push_str(&format!(
+                "  reshape {:>2} {:<10}  queue {:>12} ns  ideal {:>12} ns  ratio {:.2}\n",
+                h.reshape, h.link, h.queue_ns, h.ideal_ns, h.ratio
+            ));
+        }
+    }
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let path = resolve_path(args.ledger.as_deref());
+    let ledger = Ledger::load(&path).map_err(|e| e.to_string())?;
+    if ledger.skipped > 0 {
+        eprintln!(
+            "fftdash: warning: skipped {} undecodable line(s) in {}",
+            ledger.skipped,
+            path.display()
+        );
+    }
+
+    if args.list {
+        let configs = ledger.configs();
+        if configs.is_empty() {
+            println!("(ledger {} is empty)", path.display());
+        } else {
+            println!("{:<16} {:>5}  label", "fingerprint", "runs");
+            for (digest, label, runs) in configs {
+                println!("{digest:<16} {runs:>5}  {label}");
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let digest = select_digest(&ledger, args.config.as_deref())?;
+    let history = ledger.history_for(&digest);
+    let latest = *history.last().ok_or("config has no runs")?;
+    let mut failed = false;
+
+    if args.history {
+        print!("{}", dash::render_history(&history));
+    }
+    if args.trends {
+        print!("{}", dash::render_trends(&history));
+    }
+    if args.detect {
+        print!("{}", render_detect(latest));
+    }
+    if args.diff {
+        match dash::render_diff(&history) {
+            Some(text) => {
+                print!("{text}");
+                if args.assert_zero {
+                    let (a, b) = match history.as_slice() {
+                        [only] => (*only, *only),
+                        [.., a, b] => (*a, *b),
+                        [] => unreachable!("latest exists"),
+                    };
+                    if !dash::diff_records(a, b).is_zero() {
+                        eprintln!("fftdash: --assert-zero: diff is not all zeros");
+                        failed = true;
+                    }
+                }
+            }
+            None => println!("(no runs to diff)"),
+        }
+    }
+    if args.gate {
+        // The latest record of this config is the fresh run; gate it
+        // against the ledger *before* it (otherwise it would be its own
+        // baseline).
+        let last_idx = ledger
+            .records
+            .iter()
+            .rposition(|r| r.fingerprint.digest() == digest)
+            .ok_or("config has no runs")?;
+        let prior = Ledger {
+            records: ledger.records[..last_idx].to_vec(),
+            skipped: ledger.skipped,
+        };
+        match gate_phases(&prior, latest, args.threshold) {
+            GateOutcome::NoBaseline => {
+                println!(
+                    "phase gate: no prior run for fingerprint {digest} — nothing to compare, pass"
+                );
+            }
+            GateOutcome::Compared {
+                baseline_ts_ns,
+                regressions,
+            } => {
+                if regressions.is_empty() {
+                    println!(
+                        "phase gate: PASS vs baseline ts {baseline_ts_ns} \
+                         (threshold {:.0}%)",
+                        args.threshold * 100.0
+                    );
+                } else {
+                    for r in &regressions {
+                        println!(
+                            "phase gate: FAIL phase {} regressed {:.1}% \
+                             ({} ns -> {} ns, threshold {:.0}%)",
+                            r.phase,
+                            r.growth * 100.0,
+                            r.baseline_ns,
+                            r.fresh_ns,
+                            args.threshold * 100.0
+                        );
+                    }
+                    failed = true;
+                }
+            }
+        }
+    }
+    Ok(if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fftdash: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Terminal rendering for the `fftdash` bin.
+//!
+//! Three views over one configuration's history (records sharing a
+//! fingerprint, in append order):
+//!
+//! * [`render_history`] — one stacked bar per run, each phase a run of
+//!   glyphs proportional to its share of the per-phase max-over-ranks
+//!   total, so a phase shifting between runs is visible as the boundary
+//!   moving.
+//! * [`render_diff`] — the last two runs rebuilt into an
+//!   [`fftprof::DiffReport`] (the ledger stores everything the report
+//!   needs, so no re-profiling happens) and rendered with the standard
+//!   table.
+//! * [`render_trends`] — cache/pool hit-rate columns per run, derived
+//!   from `*.hit`/`*.miss` (and plural) counter pairs in the records.
+//!
+//! Everything returns a `String`; the bin decides where it goes.
+
+use std::fmt::Write as _;
+
+use fftprof::{DiffReport, DiffRow, ModelResidual, PHASES};
+
+use crate::record::LedgerRecord;
+
+/// Glyph per phase, in `PHASES` order — distinct fills so a monochrome
+/// terminal still reads the stack.
+const GLYPHS: [char; 7] = ['#', '+', '-', '~', '>', '.', ' '];
+
+/// Width of the stacked bar, in glyph cells.
+const BAR_WIDTH: usize = 48;
+
+/// Renders one stacked per-phase bar per run for a config's history.
+pub fn render_history(history: &[&LedgerRecord]) -> String {
+    let mut out = String::new();
+    if history.is_empty() {
+        out.push_str("(no runs for this config)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "phase history ({} runs) — legend: {}",
+        history.len(),
+        PHASES
+            .iter()
+            .map(|p| format!("{}={}", GLYPHS[*p as usize], p.label()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    // One scale across all runs so bar *length* tracks total phase time.
+    let scale = history
+        .iter()
+        .map(|r| r.max_phase_ns().iter().sum::<u64>())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for r in history {
+        let maxes = r.max_phase_ns();
+        let total: u64 = maxes.iter().sum();
+        let cells = ((total as u128 * BAR_WIDTH as u128 / scale as u128) as usize).max(1);
+        let mut bar = String::with_capacity(BAR_WIDTH);
+        let mut drawn = 0usize;
+        for p in PHASES {
+            let ns = maxes[p as usize];
+            if ns == 0 || total == 0 {
+                continue;
+            }
+            let mut w = (ns as u128 * cells as u128 / total as u128) as usize;
+            if w == 0 {
+                w = 1; // a present phase always gets one cell
+            }
+            for _ in 0..w.min(cells.saturating_sub(drawn)) {
+                bar.push(GLYPHS[p as usize]);
+            }
+            drawn = bar.chars().count();
+        }
+        let _ = writeln!(
+            out,
+            "ts {:>20}  makespan {:>12} ns  |{bar:<width$}|",
+            r.ts_ns,
+            r.makespan_ns,
+            width = BAR_WIDTH
+        );
+    }
+    out
+}
+
+/// Rebuilds a [`DiffReport`] from two ledger records (A = older baseline,
+/// B = newer contender). The report compares per-phase max-over-ranks —
+/// exactly what the ledger stores — so the result matches what
+/// `fftprof::DiffReport::between` would have produced from the original
+/// profiles.
+pub fn diff_records(a: &LedgerRecord, b: &LedgerRecord) -> DiffReport {
+    let am = a.max_phase_ns();
+    let bm = b.max_phase_ns();
+    let rows = PHASES
+        .iter()
+        .map(|&phase| DiffRow {
+            phase,
+            a_ns: am[phase as usize],
+            b_ns: bm[phase as usize],
+        })
+        .collect();
+    DiffReport {
+        a_label: format!("{}@{}", a.label, a.ts_ns),
+        b_label: format!("{}@{}", b.label, b.ts_ns),
+        rows,
+        a_makespan_ns: a.makespan_ns,
+        b_makespan_ns: b.makespan_ns,
+        a_residual: ModelResidual {
+            predicted_comm_ns: a.predicted_comm_ns,
+            measured_comm_ns: a.measured_comm_ns,
+        },
+        b_residual: ModelResidual {
+            predicted_comm_ns: b.predicted_comm_ns,
+            measured_comm_ns: b.measured_comm_ns,
+        },
+    }
+}
+
+/// Renders the run-over-run diff for a config's history: last-but-one vs
+/// last. With a single run, the run is diffed against itself (all zeros —
+/// the self-diff invariant CI leans on).
+pub fn render_diff(history: &[&LedgerRecord]) -> Option<String> {
+    let (a, b) = match history {
+        [] => return None,
+        [only] => (*only, *only),
+        [.., a, b] => (*a, *b),
+    };
+    Some(diff_records(a, b).render_text())
+}
+
+/// Hit/miss counter pairs found in a record, as `(base name, hits,
+/// misses)` — recognizes both `.hit`/`.miss` and `.hits`/`.misses`
+/// spellings.
+fn hit_pairs(r: &LedgerRecord) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    for c in &r.counters {
+        let base = if let Some(b) = c.name.strip_suffix(".hit") {
+            b
+        } else if let Some(b) = c.name.strip_suffix(".hits") {
+            b
+        } else {
+            continue;
+        };
+        let misses = r
+            .counter(&format!("{base}.miss"))
+            .or_else(|| r.counter(&format!("{base}.misses")))
+            .unwrap_or(0);
+        out.push((base.to_string(), c.value, misses));
+    }
+    out
+}
+
+/// Renders cache/pool hit-rate trends across a config's history: one row
+/// per run, one column per hit/miss counter pair.
+pub fn render_trends(history: &[&LedgerRecord]) -> String {
+    let mut out = String::new();
+    if history.is_empty() {
+        out.push_str("(no runs for this config)\n");
+        return out;
+    }
+    // Column set: union over history, first-seen order.
+    let mut cols: Vec<String> = Vec::new();
+    for r in history {
+        for (base, _, _) in hit_pairs(r) {
+            if !cols.contains(&base) {
+                cols.push(base);
+            }
+        }
+    }
+    if cols.is_empty() {
+        out.push_str("(no hit/miss counters recorded)\n");
+        return out;
+    }
+    let _ = writeln!(out, "hit-rate trends ({} runs)", history.len());
+    let _ = write!(out, "{:>20}", "ts");
+    for c in &cols {
+        let short = c.rsplit('.').next().unwrap_or(c);
+        let _ = write!(out, " {short:>14}");
+    }
+    out.push('\n');
+    for r in history {
+        let pairs = hit_pairs(r);
+        let _ = write!(out, "{:>20}", r.ts_ns);
+        for c in &cols {
+            match pairs.iter().find(|(b, _, _)| b == c) {
+                Some(&(_, h, m)) if h + m > 0 => {
+                    let _ = write!(out, " {:>13.1}%", 100.0 * h as f64 / (h + m) as f64);
+                }
+                _ => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

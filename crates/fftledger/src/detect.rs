@@ -1,0 +1,133 @@
+//! Anomaly detectors over one ledger record.
+//!
+//! Two detectors, both robust and both cheap enough to run on every
+//! append:
+//!
+//! * **Stragglers** — a rank whose *busy* time (makespan − idle) sits far
+//!   above the cohort, by the modified z-score over the median absolute
+//!   deviation: `z = 0.6745 · (busy − median) / MAD`. The MAD is immune to
+//!   the outlier itself inflating the spread (the classic failure of a
+//!   stdev cut on small rank counts), and the 0.6745 factor calibrates it
+//!   to a standard normal so the conventional `z > 3.5` cut applies.
+//!   One-sided: only slower-than-median ranks flag, and only when the
+//!   excess is material (> 1% of the makespan) so a perfectly balanced
+//!   run with nanosecond jitter stays quiet.
+//! * **Contention hotspots** — a `(reshape, link class)` row whose queuing
+//!   delay exceeds `threshold ×` its quiet-network ideal: the link spent
+//!   more time in queues than moving bytes. These are the rows the
+//!   paper's congestion analysis (Fig. 8–9) would call saturated.
+
+use crate::record::LedgerRecord;
+
+/// A rank flagged as materially slower than its cohort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Rank index.
+    pub rank: u64,
+    /// The rank's busy time (makespan − idle), ns.
+    pub busy_ns: u64,
+    /// Cohort median busy time, ns.
+    pub median_ns: u64,
+    /// Modified z-score (`0.6745 · (busy − median) / MAD`).
+    pub z: f64,
+}
+
+/// A `(reshape, link class)` whose queuing delay dwarfs its ideal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Reshape index.
+    pub reshape: u64,
+    /// Link class label.
+    pub link: String,
+    /// Queuing delay, ns.
+    pub queue_ns: u64,
+    /// Quiet-network ideal, ns.
+    pub ideal_ns: u64,
+    /// `queue / ideal` ratio that tripped the detector.
+    pub ratio: f64,
+}
+
+/// Modified z-score threshold for the straggler cut (Iglewicz–Hoaglin's
+/// conventional 3.5).
+pub const STRAGGLER_Z: f64 = 3.5;
+
+/// Materiality floor: a straggler must exceed the median by at least this
+/// fraction of the makespan.
+pub const STRAGGLER_FLOOR: f64 = 0.01;
+
+/// Default `queue / ideal` ratio above which a link row is a hotspot.
+pub const HOTSPOT_RATIO: f64 = 1.0;
+
+/// Median of a sorted slice (lower-of-two-middles for even lengths, which
+/// keeps everything in integer ns).
+fn median_sorted(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+/// Flags ranks whose busy time is a material, statistically robust outlier
+/// above the median. Returns flagged ranks in rank order; empty for
+/// records with < 4 ranks (MAD on a tiny cohort is noise, not statistics).
+pub fn detect_stragglers(record: &LedgerRecord) -> Vec<Straggler> {
+    if record.phases.len() < 4 {
+        return Vec::new();
+    }
+    let busy: Vec<u64> = record.phases.iter().map(|r| r.busy_ns()).collect();
+    let mut sorted = busy.clone();
+    sorted.sort_unstable();
+    let med = median_sorted(&sorted);
+    let mut dev: Vec<u64> = busy.iter().map(|&b| b.abs_diff(med)).collect();
+    dev.sort_unstable();
+    // A MAD of zero (at least half the ranks exactly at the median) would
+    // make every deviation infinite; clamp to 1 ns so the materiality
+    // floor does the gating instead.
+    let mad = median_sorted(&dev).max(1);
+    let floor = (record.makespan_ns as f64 * STRAGGLER_FLOOR) as u64;
+    let mut out = Vec::new();
+    for (row, &b) in record.phases.iter().zip(&busy) {
+        if b <= med || b - med <= floor {
+            continue;
+        }
+        let z = 0.6745 * (b - med) as f64 / mad as f64;
+        if z > STRAGGLER_Z {
+            out.push(Straggler {
+                rank: row.rank,
+                busy_ns: b,
+                median_ns: med,
+                z,
+            });
+        }
+    }
+    out
+}
+
+/// Flags contention rows whose queuing delay exceeds `ratio ×` the
+/// quiet-network ideal, sorted by ratio descending. Rows with a zero
+/// ideal (no bytes moved) can only flag when they queued anyway.
+pub fn detect_hotspots(record: &LedgerRecord, ratio: f64) -> Vec<Hotspot> {
+    let mut out: Vec<Hotspot> = Vec::new();
+    for c in &record.contention {
+        let r = if c.ideal_ns == 0 {
+            if c.queue_ns == 0 {
+                continue;
+            }
+            f64::INFINITY
+        } else {
+            c.queue_ns as f64 / c.ideal_ns as f64
+        };
+        if r > ratio {
+            out.push(Hotspot {
+                reshape: c.reshape,
+                link: c.link.clone(),
+                queue_ns: c.queue_ns,
+                ideal_ns: c.ideal_ns,
+                ratio: r,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    out
+}

@@ -1,0 +1,118 @@
+//! The append-only JSONL ledger file.
+//!
+//! One record per line, appends only — history is never rewritten, so two
+//! concurrent writers interleave whole lines (each append is a single
+//! `write` of one `line + '\n'` on a file opened with `O_APPEND`) and a
+//! reader sees every run that ever completed. Readers are deliberately
+//! lenient: blank lines, foreign schemas, and corrupt records are counted
+//! and skipped, never fatal — an observatory that bricks on one bad line
+//! loses all its history to a single crashed writer.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::record::{LedgerError, LedgerRecord};
+
+/// The conventional ledger location, relative to the repo root.
+pub const DEFAULT_PATH: &str = "results/ledger/ledger.jsonl";
+
+/// An in-memory view of a ledger file plus its append handle.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Records in file order (append order == chronological order).
+    pub records: Vec<LedgerRecord>,
+    /// Lines skipped while reading (blank, corrupt, or foreign-schema).
+    pub skipped: usize,
+}
+
+impl Ledger {
+    /// Parses ledger text (JSONL). Undecodable lines are skipped and
+    /// counted, not fatal.
+    pub fn parse(text: &str) -> Ledger {
+        let mut records = Vec::new();
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match LedgerRecord::parse_line(line) {
+                Ok(r) => records.push(r),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ledger { records, skipped }
+    }
+
+    /// Loads a ledger file. A missing file is an empty ledger (the first
+    /// run of a fresh checkout has no history yet).
+    pub fn load(path: &Path) -> Result<Ledger, LedgerError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Ledger::parse(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Ledger::default()),
+            Err(e) => Err(LedgerError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Appends one record to the file at `path` (creating parent
+    /// directories and the file as needed) as a single atomic-at-line
+    /// granularity write.
+    pub fn append(path: &Path, record: &LedgerRecord) -> Result<(), LedgerError> {
+        let io = |e: std::io::Error| LedgerError::Io(format!("{}: {e}", path.display()));
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(io)?;
+            }
+        }
+        let mut line = record.to_json_line();
+        line.push('\n');
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        f.write_all(line.as_bytes()).map_err(io)?;
+        Ok(())
+    }
+
+    /// All records whose fingerprint digest equals `digest`, in append
+    /// order — the history series `fftdash` plots.
+    pub fn history_for(&self, digest: &str) -> Vec<&LedgerRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.fingerprint.digest() == digest)
+            .collect()
+    }
+
+    /// The most recent record with fingerprint `digest` — the gate's
+    /// baseline.
+    pub fn last_for(&self, digest: &str) -> Option<&LedgerRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.fingerprint.digest() == digest)
+    }
+
+    /// Distinct fingerprints in first-seen order, each with its label and
+    /// run count — the `fftdash --list` view.
+    pub fn configs(&self) -> Vec<(String, String, usize)> {
+        let mut out: Vec<(String, String, usize)> = Vec::new();
+        for r in &self.records {
+            let d = r.fingerprint.digest();
+            if let Some(entry) = out.iter_mut().find(|(digest, _, _)| *digest == d) {
+                entry.2 += 1;
+            } else {
+                out.push((d, r.label.clone(), 1));
+            }
+        }
+        out
+    }
+}
+
+/// Resolves the ledger path from an explicit argument or the conventional
+/// default under the current directory.
+pub fn resolve_path(explicit: Option<&str>) -> PathBuf {
+    match explicit {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(DEFAULT_PATH),
+    }
+}

@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # fftledger — the persistent performance observatory
+//!
+//! `fftprof` profiles one run and `fftobs` counts one process; both
+//! artifacts evaporate when the process exits. This crate is the
+//! longitudinal layer the paper's whole method implies: every instrumented
+//! run appends one schema-versioned record — config fingerprint, env
+//! stamp, per-rank phase attribution, contention account, metric
+//! snapshots — to an **append-only JSONL ledger** under `results/ledger/`,
+//! and everything downstream (dashboards, anomaly detectors, CI gates)
+//! reads that file back.
+//!
+//! * [`record`] — the [`LedgerRecord`] line format (`fftledger-v1`) and
+//!   the canonical [`Fingerprint`] (sorted `key=value` fields, FNV-1a
+//!   digest) that groups runs of the same configuration.
+//! * [`ledger`] — the append-only [`Ledger`] reader/writer: appends are
+//!   one `write` of one line; reads tolerate foreign schemas and corrupt
+//!   lines by skipping them (an observatory must not brick on one bad
+//!   record).
+//! * [`detect`] — anomaly detectors over a single record: straggler ranks
+//!   via median-absolute-deviation on per-rank busy time, and contention
+//!   hotspots where queuing delay dwarfs the quiet-network ideal.
+//! * [`gate`] — phase-level regression gating: compares a fresh record
+//!   against the last ledger entry with the same fingerprint and names
+//!   *which phase* regressed, catching e.g. a compute regression that a
+//!   wire-bound makespan hides from the total-time gate.
+//! * [`dash`] — the rendering behind the `fftdash` bin: per-phase stacked
+//!   history bars, run-over-run [`fftprof::DiffReport`]s rebuilt from
+//!   ledger data, and cache/pool hit-rate trends.
+//!
+//! Like every simulation-adjacent crate, `fftledger` is wall-clock-free:
+//! record timestamps are caller-provided, so the library is deterministic
+//! and replayable (the `fftlint` no-wallclock rule is enforced on it).
+
+pub mod dash;
+pub mod detect;
+pub mod gate;
+pub mod ledger;
+pub mod record;
+
+pub use dash::{render_diff, render_history, render_trends};
+pub use detect::{detect_hotspots, detect_stragglers, Hotspot, Straggler};
+pub use gate::{gate_phases, GateOutcome, PhaseRegression};
+pub use ledger::Ledger;
+pub use record::{
+    ContentionRow, CounterEntry, EnvStamp, Fingerprint, LedgerError, LedgerRecord, PhaseRow,
+    QuantileEntry, SCHEMA,
+};

@@ -1,0 +1,568 @@
+//! The schema-versioned ledger record and its JSON line format.
+//!
+//! One [`LedgerRecord`] captures everything needed to compare a run against
+//! a later run of the *same configuration*: a canonical config
+//! [`Fingerprint`], the host [`EnvStamp`], the `fftprof` per-rank phase
+//! attribution, the link-contention account, the model residual, and
+//! selected `fftobs` counter/quantile snapshots.
+//!
+//! ## Serialization contract
+//!
+//! A record serializes to exactly **one JSON line** with a fixed key order,
+//! so the ledger file is an append-only JSONL stream and re-serializing a
+//! parsed record reproduces the original bytes
+//! (`parse_line(to_json_line(r)) == r` *and*
+//! `to_json_line(parse_line(l)) == l` — asserted by `tests/roundtrip.rs`).
+//! Timestamps are **caller-provided**: this crate never reads the host
+//! clock (DESIGN.md §12's no-wallclock rule covers it), so replaying or
+//! re-stamping a ledger is a pure data operation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use fftobs::json::Json;
+use fftobs::metrics::MetricsSnapshot;
+use fftprof::{Phase, Profile, PHASES};
+
+/// The JSONL schema identifier this crate writes and accepts.
+pub const SCHEMA: &str = "fftledger-v1";
+
+/// Everything that can go wrong reading a ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The line is not valid JSON.
+    Json(String),
+    /// A required member is missing or has the wrong type.
+    Field(&'static str),
+    /// The `schema` member names a version this reader does not speak.
+    Schema(String),
+    /// An I/O failure (path + OS error text).
+    Io(String),
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::Json(e) => write!(f, "ledger line is not valid JSON: {e}"),
+            LedgerError::Field(name) => write!(f, "ledger record missing/invalid field {name:?}"),
+            LedgerError::Schema(s) => write!(f, "unsupported ledger schema {s:?} (want {SCHEMA})"),
+            LedgerError::Io(e) => write!(f, "ledger I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// A canonical configuration fingerprint: sorted `key=value` fields hashed
+/// with FNV-1a. Two runs share a fingerprint exactly when every field
+/// matches — **insertion order never matters** (fields live in a
+/// `BTreeMap`), so builders can stamp fields in any order and a record
+/// parsed back from JSON (whatever its member order) fingerprints
+/// identically. Asserted by `tests/roundtrip.rs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fingerprint {
+    fields: BTreeMap<String, String>,
+}
+
+impl Fingerprint {
+    /// An empty fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    /// Sets one field (replacing any previous value for `key`).
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// The fields, sorted by key.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Value of one field.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// The canonical text the digest is computed over: `key=value` pairs
+    /// sorted by key, joined with `|`.
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push('|');
+            }
+            let _ = write!(s, "{k}={v}");
+        }
+        s
+    }
+
+    /// 64-bit FNV-1a digest of [`canonical`](Self::canonical), as 16 lower
+    /// hex digits — the key runs are grouped by in the ledger.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.canonical().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// Host environment stamp — enough to interpret a cross-run diff honestly.
+/// Deliberately *not* part of the fingerprint: the same config on a newer
+/// compiler is still the same config, and the env columns say why a number
+/// moved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvStamp {
+    /// `rustc -V` of the build.
+    pub rustc: String,
+    /// Short git revision of the tree.
+    pub git_rev: String,
+    /// Detected CPU SIMD feature set.
+    pub cpu: String,
+    /// Sweep/executor worker threads of the run.
+    pub threads: u64,
+}
+
+/// Per-rank phase attribution: nanoseconds per [`fftprof::Phase`], in
+/// `PHASES` order. Each row sums to the record's makespan (the `fftprof`
+/// tiling invariant survives the round-trip).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Rank index.
+    pub rank: u64,
+    /// Nanoseconds per phase, indexed by `Phase as usize`.
+    pub ns: [u64; 7],
+}
+
+impl PhaseRow {
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Busy time: total minus idle — the straggler detector's signal.
+    pub fn busy_ns(&self) -> u64 {
+        self.total_ns() - self.ns[Phase::Idle as usize]
+    }
+}
+
+/// One `(reshape, link class)` contention aggregate, mirroring
+/// [`fftprof::ReshapeContention`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentionRow {
+    /// Reshape index.
+    pub reshape: u64,
+    /// Link class label (`"intra-node"` / `"inter-node"`).
+    pub link: String,
+    /// MPI calls aggregated.
+    pub calls: u64,
+    /// Payload bytes injected.
+    pub bytes: u64,
+    /// Measured call time, ns.
+    pub actual_ns: u64,
+    /// Quiet-network ideal, ns.
+    pub ideal_ns: u64,
+    /// Queuing delay (`actual - ideal`), ns.
+    pub queue_ns: u64,
+}
+
+/// A named counter value (cache hits, pool misses, …).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Value at record time.
+    pub value: u64,
+}
+
+/// A named histogram quantile snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantileEntry {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// One run of one configuration: a single line of the ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerRecord {
+    /// Caller-provided wall-clock stamp, ns since the Unix epoch (this
+    /// crate never reads the host clock itself).
+    pub ts_ns: u64,
+    /// Human-readable run label (e.g. `bench_snapshot_64cubed_24r`).
+    pub label: String,
+    /// Canonical configuration fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Host environment stamp.
+    pub env: EnvStamp,
+    /// Trace makespan, ns.
+    pub makespan_ns: u64,
+    /// Per-rank phase attribution.
+    pub phases: Vec<PhaseRow>,
+    /// Link-contention aggregates.
+    pub contention: Vec<ContentionRow>,
+    /// Model-predicted communication, ns (equations (2)/(3)).
+    pub predicted_comm_ns: u64,
+    /// Measured communication, ns (max over ranks of send + recv-wait).
+    pub measured_comm_ns: u64,
+    /// Counter snapshots.
+    pub counters: Vec<CounterEntry>,
+    /// Histogram quantile snapshots.
+    pub histograms: Vec<QuantileEntry>,
+}
+
+impl LedgerRecord {
+    /// Builds a record from a finished [`fftprof::Profile`] plus an
+    /// `fftobs` metrics snapshot. The profile's identity fields (grid,
+    /// decomposition, backend, rank count, machine, GPU-awareness) seed the
+    /// fingerprint; the caller layers runtime knobs (SIMD tier, thread
+    /// count, chunking, grain) on top via [`Fingerprint::set`] before
+    /// appending.
+    pub fn from_profile(
+        ts_ns: u64,
+        label: &str,
+        env: EnvStamp,
+        profile: &Profile,
+        metrics: &MetricsSnapshot,
+    ) -> LedgerRecord {
+        let mut fingerprint = Fingerprint::new();
+        fingerprint
+            .set(
+                "n",
+                format!("{}x{}x{}", profile.n[0], profile.n[1], profile.n[2]),
+            )
+            .set("nranks", profile.nranks)
+            .set("decomp", profile.decomp)
+            .set("routine", profile.routine)
+            .set("gpu_aware", profile.gpu_aware)
+            .set("machine", profile.machine);
+        let phases = profile
+            .phases
+            .per_rank
+            .iter()
+            .enumerate()
+            .map(|(rank, bd)| {
+                let mut ns = [0u64; 7];
+                for p in PHASES {
+                    ns[p as usize] = bd.get(p);
+                }
+                PhaseRow {
+                    rank: rank as u64,
+                    ns,
+                }
+            })
+            .collect();
+        let contention = profile
+            .contention
+            .by_reshape
+            .iter()
+            .map(|(&(ri, class), c)| ContentionRow {
+                reshape: ri as u64,
+                link: class.label().to_string(),
+                calls: c.calls,
+                bytes: c.bytes,
+                actual_ns: c.actual_ns,
+                ideal_ns: c.ideal_ns,
+                queue_ns: c.queue_ns,
+            })
+            .collect();
+        let counters = metrics
+            .counters
+            .iter()
+            .map(|c| CounterEntry {
+                name: c.name.to_string(),
+                value: c.value,
+            })
+            .collect();
+        let histograms = metrics
+            .histograms
+            .iter()
+            .map(|h| QuantileEntry {
+                name: h.name.to_string(),
+                count: h.count,
+                p50: h.p50,
+                p90: h.p90,
+                p99: h.p99,
+                max: h.max,
+            })
+            .collect();
+        LedgerRecord {
+            ts_ns,
+            label: label.to_string(),
+            fingerprint,
+            env,
+            makespan_ns: profile.makespan_ns(),
+            phases,
+            contention,
+            predicted_comm_ns: profile.residual.predicted_comm_ns,
+            measured_comm_ns: profile.residual.measured_comm_ns,
+            counters,
+            histograms,
+        }
+    }
+
+    /// Adds (or replaces) one counter entry — for values that come from
+    /// outside the `fftobs` registry, like bench-computed pool stats.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        if let Some(c) = self.counters.iter_mut().find(|c| c.name == name) {
+            c.value = value;
+        } else {
+            self.counters.push(CounterEntry {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Per-phase maximum across ranks — the wall-clock-relevant view the
+    /// gate and the diff compare.
+    pub fn max_phase_ns(&self) -> [u64; 7] {
+        let mut m = [0u64; 7];
+        for row in &self.phases {
+            for (slot, &ns) in m.iter_mut().zip(&row.ns) {
+                *slot = (*slot).max(ns);
+            }
+        }
+        m
+    }
+
+    /// Value of a recorded counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The record as exactly one JSON line (trailing `\n` not included).
+    /// Key order is fixed; see the module docs for the byte-stability
+    /// contract.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{SCHEMA}\",\"ts_ns\":{},\"label\":\"{}\",\"fingerprint\":\"{}\"",
+            self.ts_ns,
+            esc(&self.label),
+            self.fingerprint.digest()
+        );
+        s.push_str(",\"config\":{");
+        for (i, (k, v)) in self.fingerprint.fields().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":\"{}\"", esc(k), esc(v));
+        }
+        s.push('}');
+        let _ = write!(
+            s,
+            ",\"env\":{{\"rustc\":\"{}\",\"git_rev\":\"{}\",\"cpu\":\"{}\",\"threads\":{}}}",
+            esc(&self.env.rustc),
+            esc(&self.env.git_rev),
+            esc(&self.env.cpu),
+            self.env.threads
+        );
+        let _ = write!(s, ",\"makespan_ns\":{}", self.makespan_ns);
+        s.push_str(",\"phases\":[");
+        for (i, row) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"rank\":{}", row.rank);
+            for p in PHASES {
+                let _ = write!(s, ",\"{}\":{}", p.label(), row.ns[p as usize]);
+            }
+            s.push('}');
+        }
+        s.push_str("],\"contention\":[");
+        for (i, c) in self.contention.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"reshape\":{},\"link\":\"{}\",\"calls\":{},\"bytes\":{},\"actual_ns\":{},\
+                 \"ideal_ns\":{},\"queue_ns\":{}}}",
+                c.reshape,
+                esc(&c.link),
+                c.calls,
+                c.bytes,
+                c.actual_ns,
+                c.ideal_ns,
+                c.queue_ns
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"model\":{{\"predicted_comm_ns\":{},\"measured_comm_ns\":{}}}",
+            self.predicted_comm_ns, self.measured_comm_ns
+        );
+        s.push_str(",\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"name\":\"{}\",\"value\":{}}}", esc(&c.name), c.value);
+        }
+        s.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                esc(&h.name),
+                h.count,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses one ledger line. Accepts any member order inside objects
+    /// (the JSON reader keeps document order, lookup is by key), rejects
+    /// unknown schemas.
+    pub fn parse_line(line: &str) -> Result<LedgerRecord, LedgerError> {
+        let doc = fftobs::json::parse(line).map_err(|e| LedgerError::Json(e.to_string()))?;
+        let schema = str_field(&doc, "schema")?;
+        if schema != SCHEMA {
+            return Err(LedgerError::Schema(schema.to_string()));
+        }
+        let mut fingerprint = Fingerprint::new();
+        if let Some(Json::Obj(members)) = doc.get("config") {
+            for (k, v) in members {
+                let v = v.as_str().ok_or(LedgerError::Field("config"))?;
+                fingerprint.set(k, v);
+            }
+        } else {
+            return Err(LedgerError::Field("config"));
+        }
+        // The stored digest must match the one the fields reproduce —
+        // a hand-edited config without a re-digest is a corrupt record.
+        let stored = str_field(&doc, "fingerprint")?;
+        if stored != fingerprint.digest() {
+            return Err(LedgerError::Field("fingerprint"));
+        }
+        let env_doc = doc.get("env").ok_or(LedgerError::Field("env"))?;
+        let env = EnvStamp {
+            rustc: str_field(env_doc, "rustc")?.to_string(),
+            git_rev: str_field(env_doc, "git_rev")?.to_string(),
+            cpu: str_field(env_doc, "cpu")?.to_string(),
+            threads: u64_field(env_doc, "threads")?,
+        };
+        let mut phases = Vec::new();
+        for row in arr_field(&doc, "phases")? {
+            let mut ns = [0u64; 7];
+            for p in PHASES {
+                ns[p as usize] = u64_field(row, p.label())?;
+            }
+            phases.push(PhaseRow {
+                rank: u64_field(row, "rank")?,
+                ns,
+            });
+        }
+        let mut contention = Vec::new();
+        for row in arr_field(&doc, "contention")? {
+            contention.push(ContentionRow {
+                reshape: u64_field(row, "reshape")?,
+                link: str_field(row, "link")?.to_string(),
+                calls: u64_field(row, "calls")?,
+                bytes: u64_field(row, "bytes")?,
+                actual_ns: u64_field(row, "actual_ns")?,
+                ideal_ns: u64_field(row, "ideal_ns")?,
+                queue_ns: u64_field(row, "queue_ns")?,
+            });
+        }
+        let model = doc.get("model").ok_or(LedgerError::Field("model"))?;
+        let mut counters = Vec::new();
+        for row in arr_field(&doc, "counters")? {
+            counters.push(CounterEntry {
+                name: str_field(row, "name")?.to_string(),
+                value: u64_field(row, "value")?,
+            });
+        }
+        let mut histograms = Vec::new();
+        for row in arr_field(&doc, "histograms")? {
+            histograms.push(QuantileEntry {
+                name: str_field(row, "name")?.to_string(),
+                count: u64_field(row, "count")?,
+                p50: u64_field(row, "p50")?,
+                p90: u64_field(row, "p90")?,
+                p99: u64_field(row, "p99")?,
+                max: u64_field(row, "max")?,
+            });
+        }
+        Ok(LedgerRecord {
+            ts_ns: u64_field(&doc, "ts_ns")?,
+            label: str_field(&doc, "label")?.to_string(),
+            fingerprint,
+            env,
+            makespan_ns: u64_field(&doc, "makespan_ns")?,
+            phases,
+            contention,
+            predicted_comm_ns: u64_field(model, "predicted_comm_ns")?,
+            measured_comm_ns: u64_field(model, "measured_comm_ns")?,
+            counters,
+            histograms,
+        })
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, name: &'static str) -> Result<&'a str, LedgerError> {
+    doc.get(name)
+        .and_then(|v| v.as_str())
+        .ok_or(LedgerError::Field(name))
+}
+
+fn u64_field(doc: &Json, name: &'static str) -> Result<u64, LedgerError> {
+    let x = doc
+        .get(name)
+        .and_then(|v| v.as_f64())
+        .ok_or(LedgerError::Field(name))?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(LedgerError::Field(name));
+    }
+    Ok(x as u64)
+}
+
+fn arr_field<'a>(doc: &'a Json, name: &'static str) -> Result<&'a [Json], LedgerError> {
+    doc.get(name)
+        .and_then(|v| v.as_array())
+        .ok_or(LedgerError::Field(name))
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,122 @@
+//! Detector behavior on hand-built straggler and contention traces.
+
+use fftledger::{detect_hotspots, detect_stragglers, ContentionRow, LedgerRecord, PhaseRow};
+use fftprof::Phase;
+
+/// A record with `nranks` ranks of the given busy times, idle-padded to a
+/// common makespan (the `fftprof` tiling invariant).
+fn record_with_busy(busy_ns: &[u64]) -> LedgerRecord {
+    let makespan = busy_ns.iter().copied().max().unwrap_or(0) + 1_000;
+    let phases = busy_ns
+        .iter()
+        .enumerate()
+        .map(|(rank, &b)| {
+            let mut ns = [0u64; 7];
+            ns[Phase::Compute as usize] = b;
+            ns[Phase::Idle as usize] = makespan - b;
+            PhaseRow {
+                rank: rank as u64,
+                ns,
+            }
+        })
+        .collect();
+    LedgerRecord {
+        makespan_ns: makespan,
+        phases,
+        ..LedgerRecord::default()
+    }
+}
+
+#[test]
+fn balanced_ranks_raise_no_stragglers() {
+    // Nanosecond jitter around 1 ms busy: well under both the z cut and
+    // the 1%-of-makespan materiality floor.
+    let busy: Vec<u64> = (0..16).map(|r| 1_000_000 + (r % 3)).collect();
+    assert!(detect_stragglers(&record_with_busy(&busy)).is_empty());
+}
+
+#[test]
+fn single_slow_rank_is_flagged_with_a_large_z() {
+    let mut busy = vec![1_000_000u64; 16];
+    busy[11] = 1_600_000; // 60% over the cohort
+    let rec = record_with_busy(&busy);
+    let found = detect_stragglers(&rec);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rank, 11);
+    assert_eq!(found[0].busy_ns, 1_600_000);
+    assert_eq!(found[0].median_ns, 1_000_000);
+    assert!(found[0].z > 3.5);
+}
+
+#[test]
+fn mad_survives_the_outlier_inflating_the_spread() {
+    // A stdev-based cut fails here: the single huge outlier inflates the
+    // stdev enough to hide itself. The MAD ignores it.
+    let mut busy = vec![1_000_000u64; 7];
+    busy.push(10_000_000);
+    let found = detect_stragglers(&record_with_busy(&busy));
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rank, 7);
+}
+
+#[test]
+fn fast_ranks_are_not_stragglers() {
+    // One-sided: a rank far *below* the median is interesting but not a
+    // straggler.
+    let mut busy = vec![1_000_000u64; 16];
+    busy[3] = 10_000;
+    assert!(detect_stragglers(&record_with_busy(&busy)).is_empty());
+}
+
+#[test]
+fn tiny_cohorts_are_never_flagged() {
+    let busy = vec![1_000_000, 1_000_000, 99_000_000];
+    assert!(detect_stragglers(&record_with_busy(&busy)).is_empty());
+}
+
+fn contention_record(rows: &[(u64, &str, u64, u64)]) -> LedgerRecord {
+    LedgerRecord {
+        contention: rows
+            .iter()
+            .map(|&(reshape, link, ideal_ns, queue_ns)| ContentionRow {
+                reshape,
+                link: link.to_string(),
+                calls: 8,
+                bytes: 1 << 20,
+                actual_ns: ideal_ns + queue_ns,
+                ideal_ns,
+                queue_ns,
+            })
+            .collect(),
+        ..LedgerRecord::default()
+    }
+}
+
+#[test]
+fn hotspots_flag_queue_dominated_links_sorted_by_ratio() {
+    let rec = contention_record(&[
+        (0, "intra-node", 1_000_000, 200_000),   // 0.2 — quiet
+        (0, "inter-node", 1_000_000, 3_000_000), // 3.0 — hotspot
+        (1, "inter-node", 500_000, 900_000),     // 1.8 — hotspot
+    ]);
+    let hot = detect_hotspots(&rec, 1.0);
+    assert_eq!(hot.len(), 2, "{hot:?}");
+    assert_eq!((hot[0].reshape, hot[0].link.as_str()), (0, "inter-node"));
+    assert!((hot[0].ratio - 3.0).abs() < 1e-9);
+    assert_eq!((hot[1].reshape, hot[1].link.as_str()), (1, "inter-node"));
+    assert!(hot[0].ratio >= hot[1].ratio, "sorted by ratio descending");
+}
+
+#[test]
+fn hotspot_threshold_is_respected_and_zero_ideal_handled() {
+    let rec = contention_record(&[
+        (0, "inter-node", 1_000_000, 1_500_000), // 1.5
+        (1, "inter-node", 0, 0),                 // nothing moved, nothing queued
+        (2, "inter-node", 0, 700_000),           // queued with zero ideal: infinite ratio
+    ]);
+    assert_eq!(detect_hotspots(&rec, 2.0).len(), 1, "only the inf row");
+    let hot = detect_hotspots(&rec, 1.0);
+    assert_eq!(hot.len(), 2);
+    assert!(hot[0].ratio.is_infinite());
+    assert_eq!(hot[0].reshape, 2);
+}

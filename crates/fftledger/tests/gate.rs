@@ -1,0 +1,197 @@
+//! Phase-level regression gating, including the scenario the gate exists
+//! for: a compute regression hiding behind an unchanged makespan.
+
+use fftledger::{gate_phases, Fingerprint, GateOutcome, Ledger, LedgerRecord, PhaseRow};
+use fftprof::Phase;
+
+fn fingerprint() -> Fingerprint {
+    let mut f = Fingerprint::new();
+    f.set("n", "64x64x64")
+        .set("nranks", "8")
+        .set("decomp", "pencils")
+        .set("simd", "avx2");
+    f
+}
+
+/// A record whose ranks each spend the given (compute, pack, send,
+/// recv_wait) and idle-pad to the common makespan.
+fn record(ts_ns: u64, makespan: u64, ranks: &[(u64, u64, u64, u64)]) -> LedgerRecord {
+    let phases = ranks
+        .iter()
+        .enumerate()
+        .map(|(rank, &(compute, pack, send, recv))| {
+            let mut ns = [0u64; 7];
+            ns[Phase::Compute as usize] = compute;
+            ns[Phase::Pack as usize] = pack;
+            ns[Phase::Send as usize] = send;
+            ns[Phase::RecvWait as usize] = recv;
+            let used = compute + pack + send + recv;
+            assert!(used <= makespan, "fixture rank over-full");
+            ns[Phase::Idle as usize] = makespan - used;
+            PhaseRow {
+                rank: rank as u64,
+                ns,
+            }
+        })
+        .collect();
+    LedgerRecord {
+        ts_ns,
+        label: "gate-fixture".to_string(),
+        fingerprint: fingerprint(),
+        makespan_ns: makespan,
+        phases,
+        ..LedgerRecord::default()
+    }
+}
+
+/// A wire-bound baseline: makespan 10 ms, compute well off the critical
+/// path (lots of recv-wait).
+fn baseline() -> LedgerRecord {
+    record(
+        1_000,
+        10_000_000,
+        &[
+            (2_000_000, 500_000, 300_000, 6_000_000),
+            (2_200_000, 500_000, 300_000, 5_800_000),
+            (1_900_000, 400_000, 300_000, 6_100_000),
+            (2_100_000, 450_000, 300_000, 6_000_000),
+        ],
+    )
+}
+
+fn ledger_with(records: &[LedgerRecord]) -> Ledger {
+    let text: String = records
+        .iter()
+        .map(|r| format!("{}\n", r.to_json_line()))
+        .collect();
+    Ledger::parse(&text)
+}
+
+#[test]
+fn doctored_compute_regression_passes_total_gate_but_fails_phase_gate() {
+    let base = baseline();
+    // Doctor the fresh run: every rank's compute inflates 40% and its
+    // recv-wait shrinks by the same amount — the makespan (what the
+    // total-time gate measures) is bit-identical.
+    let fresh = record(
+        2_000,
+        10_000_000,
+        &[
+            (2_800_000, 500_000, 300_000, 5_200_000),
+            (3_080_000, 500_000, 300_000, 4_920_000),
+            (2_660_000, 400_000, 300_000, 5_340_000),
+            (2_940_000, 450_000, 300_000, 5_160_000),
+        ],
+    );
+    assert_eq!(
+        fresh.makespan_ns, base.makespan_ns,
+        "the total-time gate sees zero regression"
+    );
+    let ledger = ledger_with(&[base]);
+    let outcome = gate_phases(&ledger, &fresh, 0.25);
+    let GateOutcome::Compared {
+        baseline_ts_ns,
+        regressions,
+    } = outcome
+    else {
+        panic!("baseline exists, must compare");
+    };
+    assert_eq!(baseline_ts_ns, 1_000);
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert_eq!(
+        regressions[0].phase, "compute",
+        "the gate names the regressed phase"
+    );
+    assert_eq!(regressions[0].baseline_ns, 2_200_000);
+    assert_eq!(regressions[0].fresh_ns, 3_080_000);
+    assert!((regressions[0].growth - 0.40).abs() < 1e-9);
+}
+
+#[test]
+fn identical_rerun_passes() {
+    let base = baseline();
+    let mut fresh = base.clone();
+    fresh.ts_ns = 2_000;
+    let outcome = gate_phases(&ledger_with(&[base]), &fresh, 0.25);
+    assert!(outcome.passed(), "{outcome:?}");
+}
+
+#[test]
+fn improvement_and_below_threshold_growth_pass() {
+    let base = baseline();
+    // +20% compute (under the 25% threshold), recv-wait improved.
+    let fresh = record(
+        2_000,
+        10_000_000,
+        &[
+            (2_400_000, 500_000, 300_000, 5_000_000),
+            (2_640_000, 500_000, 300_000, 4_800_000),
+            (2_280_000, 400_000, 300_000, 5_100_000),
+            (2_520_000, 450_000, 300_000, 5_000_000),
+        ],
+    );
+    assert!(gate_phases(&ledger_with(&[base]), &fresh, 0.25).passed());
+}
+
+#[test]
+fn gate_compares_against_the_latest_matching_entry_only() {
+    let old = baseline();
+    // A newer, slower baseline: compute grew 60% already. The fresh run
+    // matches the *newer* entry, so nothing regresses relative to it.
+    let newer = record(
+        5_000,
+        10_000_000,
+        &[
+            (3_520_000, 500_000, 300_000, 4_480_000),
+            (3_520_000, 500_000, 300_000, 4_480_000),
+            (3_520_000, 400_000, 300_000, 4_580_000),
+            (3_520_000, 450_000, 300_000, 4_530_000),
+        ],
+    );
+    let mut fresh = newer.clone();
+    fresh.ts_ns = 6_000;
+    assert!(gate_phases(&ledger_with(&[old, newer]), &fresh, 0.25).passed());
+}
+
+#[test]
+fn unknown_fingerprint_is_no_baseline_and_passes() {
+    let base = baseline();
+    let mut fresh = base.clone();
+    fresh.ts_ns = 2_000;
+    fresh.fingerprint.set("simd", "avx512");
+    let outcome = gate_phases(&ledger_with(&[base]), &fresh, 0.25);
+    assert_eq!(outcome, GateOutcome::NoBaseline);
+    assert!(outcome.passed());
+}
+
+#[test]
+fn noise_floor_ignores_tiny_phases() {
+    // Pack is 3 µs on a 10 ms run — under the 1%-of-makespan floor. Even
+    // a 10× blow-up must not gate; the dominant recv-wait regressing must.
+    let base = record(
+        1_000,
+        10_000_000,
+        &[
+            (2_000_000, 3_000, 300_000, 6_000_000),
+            (2_000_000, 3_000, 300_000, 6_000_000),
+            (2_000_000, 3_000, 300_000, 6_000_000),
+            (2_000_000, 3_000, 300_000, 6_000_000),
+        ],
+    );
+    let fresh = record(
+        2_000,
+        10_000_000,
+        &[
+            (2_000_000, 30_000, 300_000, 7_600_000),
+            (2_000_000, 30_000, 300_000, 7_600_000),
+            (2_000_000, 30_000, 300_000, 7_600_000),
+            (2_000_000, 30_000, 300_000, 7_600_000),
+        ],
+    );
+    let outcome = gate_phases(&ledger_with(&[base]), &fresh, 0.25);
+    let GateOutcome::Compared { regressions, .. } = outcome else {
+        panic!("must compare");
+    };
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert_eq!(regressions[0].phase, "recv-wait");
+}

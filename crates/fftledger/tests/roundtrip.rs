@@ -1,0 +1,172 @@
+//! Ledger serialization contract: write → read → byte-stable
+//! re-serialize, fingerprint order-independence, and reader leniency.
+
+use distfft::plan::FftOptions;
+use fftledger::{EnvStamp, Fingerprint, Ledger, LedgerError, LedgerRecord, SCHEMA};
+use fftobs::metrics::Registry;
+use simgrid::MachineSpec;
+
+/// A record built from a real profiled run plus a synthetic metrics
+/// snapshot — the same path the bench harnesses use.
+fn real_record(ts_ns: u64, label: &str) -> LedgerRecord {
+    let machine = MachineSpec::summit();
+    let profile = fftprof::profile_config(
+        label,
+        &machine,
+        [32, 32, 32],
+        12,
+        FftOptions::default(),
+        true,
+    );
+    let reg = Registry::new();
+    reg.counter("fftkern.plan_cache.hit").add(37);
+    reg.counter("fftkern.plan_cache.miss").add(3);
+    reg.histogram("exec.task_ns").record(1024);
+    reg.histogram("exec.task_ns").record(4096);
+    let env = EnvStamp {
+        rustc: "rustc 1.99.0-test".to_string(),
+        git_rev: "deadbeef".to_string(),
+        cpu: "test-cpu avx2".to_string(),
+        threads: 8,
+    };
+    let mut r = LedgerRecord::from_profile(ts_ns, label, env, &profile, &reg.snapshot());
+    r.fingerprint.set("simd", "avx2").set("threads", 8);
+    r.push_counter("distfft.exec_pool.hits", 11);
+    r.push_counter("distfft.exec_pool.misses", 4);
+    r
+}
+
+#[test]
+fn record_round_trips_and_reserializes_byte_identically() {
+    let r = real_record(1_700_000_000_000_000_000, "roundtrip \"quoted\" run");
+    let line = r.to_json_line();
+    assert!(!line.contains('\n'), "a record is exactly one line");
+    let parsed = LedgerRecord::parse_line(&line).expect("own output must parse");
+    assert_eq!(parsed, r, "parse must reconstruct the record exactly");
+    assert_eq!(
+        parsed.to_json_line(),
+        line,
+        "re-serializing a parsed record must reproduce the original bytes"
+    );
+}
+
+#[test]
+fn record_preserves_profile_invariants() {
+    let r = real_record(42, "invariants");
+    assert_eq!(r.phases.len(), 12);
+    for row in &r.phases {
+        assert_eq!(
+            row.total_ns(),
+            r.makespan_ns,
+            "phase rows must still tile the makespan after the round-trip"
+        );
+    }
+    for c in &r.contention {
+        assert_eq!(c.actual_ns, c.ideal_ns + c.queue_ns);
+    }
+    assert_eq!(r.counter("fftkern.plan_cache.hit"), Some(37));
+    assert_eq!(r.counter("distfft.exec_pool.hits"), Some(11));
+    assert_eq!(r.histograms.len(), 1);
+    assert_eq!(r.histograms[0].count, 2);
+}
+
+#[test]
+fn fingerprint_is_field_order_independent() {
+    let fields = [
+        ("n", "64x64x64"),
+        ("nranks", "24"),
+        ("decomp", "pencils"),
+        ("backend", "MPI_Alltoallv"),
+        ("simd", "avx512"),
+        ("threads", "16"),
+        ("reshape_chunks", "4"),
+        ("exec_grain", "8192"),
+    ];
+    let mut forward = Fingerprint::new();
+    for (k, v) in fields {
+        forward.set(k, v);
+    }
+    let mut reverse = Fingerprint::new();
+    for (k, v) in fields.iter().rev() {
+        reverse.set(k, v);
+    }
+    // A rotation, for a third distinct insertion order.
+    let mut rotated = Fingerprint::new();
+    for (k, v) in fields.iter().cycle().skip(3).take(fields.len()) {
+        rotated.set(k, v);
+    }
+    assert_eq!(forward.digest(), reverse.digest());
+    assert_eq!(forward.digest(), rotated.digest());
+    assert_eq!(forward.canonical(), reverse.canonical());
+    assert_eq!(forward.digest().len(), 16);
+    assert!(forward.digest().chars().all(|c| c.is_ascii_hexdigit()));
+
+    // Any field changing changes the digest.
+    let mut changed = forward.clone();
+    changed.set("simd", "avx2");
+    assert_ne!(forward.digest(), changed.digest());
+}
+
+#[test]
+fn parse_rejects_foreign_schema_and_tampered_fingerprint() {
+    let r = real_record(7, "tamper");
+    let line = r.to_json_line();
+    let foreign = line.replace(SCHEMA, "fftledger-v999");
+    match LedgerRecord::parse_line(&foreign) {
+        Err(LedgerError::Schema(s)) => assert_eq!(s, "fftledger-v999"),
+        other => panic!("expected schema error, got {other:?}"),
+    }
+    // Edit a config field without re-digesting: the stored fingerprint no
+    // longer matches and the record is rejected as corrupt.
+    let tampered = line.replace("\"decomp\":\"pencils\"", "\"decomp\":\"slabs\"");
+    assert_ne!(tampered, line, "fixture must actually change the config");
+    assert_eq!(
+        LedgerRecord::parse_line(&tampered),
+        Err(LedgerError::Field("fingerprint"))
+    );
+}
+
+#[test]
+fn ledger_reader_skips_junk_and_groups_by_fingerprint() {
+    let a1 = real_record(100, "cfg-a");
+    let a2 = real_record(200, "cfg-a");
+    let mut b = real_record(150, "cfg-b");
+    b.fingerprint.set("simd", "scalar");
+    let text = format!(
+        "{}\n\nnot json at all\n{}\n{{\"schema\":\"other-v1\"}}\n{}\n",
+        a1.to_json_line(),
+        b.to_json_line(),
+        a2.to_json_line()
+    );
+    let ledger = Ledger::parse(&text);
+    assert_eq!(ledger.records.len(), 3);
+    assert_eq!(ledger.skipped, 2, "junk + foreign schema are skipped");
+    let da = a1.fingerprint.digest();
+    assert_eq!(ledger.history_for(&da).len(), 2);
+    assert_eq!(ledger.last_for(&da).map(|r| r.ts_ns), Some(200));
+    let configs = ledger.configs();
+    assert_eq!(configs.len(), 2);
+    assert_eq!(configs[0].2, 2, "cfg-a has two runs");
+}
+
+#[test]
+fn append_and_load_round_trip_through_a_file() {
+    let dir = std::env::temp_dir().join(format!("fftledger-test-{}", std::process::id()));
+    let path = dir.join("nested").join("ledger.jsonl");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        Ledger::load(&path)
+            .expect("missing file is an empty ledger")
+            .records
+            .len(),
+        0
+    );
+    let r1 = real_record(1, "file-run");
+    let r2 = real_record(2, "file-run");
+    Ledger::append(&path, &r1).expect("append creates dirs and file");
+    Ledger::append(&path, &r2).expect("append to existing file");
+    let loaded = Ledger::load(&path).expect("load");
+    assert_eq!(loaded.records, vec![r1, r2]);
+    assert_eq!(loaded.skipped, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -124,7 +124,16 @@ impl Histogram {
                     return 0; // bucket 0 holds exactly the value 0
                 }
                 let lo = 1u64 << (i - 1);
-                let hi = if i < 64 { (1u64 << i) - 1 } else { u64::MAX };
+                // The last bucket saturates: it holds everything ≥ 2^62,
+                // including values past 2^63, so its upper bound is the
+                // full u64 range — `(1 << i) - 1` would silently cap a
+                // single-sample p99 at `i64::MAX` (the old `i < 64` guard
+                // was dead code: `i` never exceeds BUCKETS - 1 = 63).
+                let hi = if i + 1 < BUCKETS {
+                    (1u64 << i) - 1
+                } else {
+                    u64::MAX
+                };
                 let hi = hi.min(self.max());
                 let pos = (target - seen) as f64 / n as f64;
                 let est = lo as f64 + pos * hi.saturating_sub(lo) as f64;
@@ -400,6 +409,34 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_quantile_returns_the_samples_bucket_in_every_bucket() {
+        // Regression: the saturated last bucket's upper bound was computed
+        // with a dead `i < 64` guard, so a lone sample ≥ 2^63 reported
+        // p99 = (1 << 63) - 1 instead of the sample itself. A one-sample
+        // histogram's every quantile must land in that sample's bucket
+        // (and q = 1.0 must be exact), across all buckets including the
+        // saturated one.
+        for shift in [0u32, 1, 5, 31, 62, 63] {
+            let v = 1u64 << shift;
+            let h = Histogram::default();
+            h.record(v);
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                let est = h.quantile(q);
+                assert!(
+                    est >= v / 2 && est <= v,
+                    "shift {shift} q {q}: {est} not in [{}, {v}]",
+                    v / 2
+                );
+            }
+            assert_eq!(h.quantile(1.0), v, "shift {shift}");
+        }
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
     }
 
     #[test]
