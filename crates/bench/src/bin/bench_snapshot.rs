@@ -289,6 +289,36 @@ fn reshape_overlap_row() -> Row {
     }
 }
 
+/// Transform-ahead A/B (DESIGN.md §16): the 8-rank pencil protocol at
+/// 128³, monolithic exchanges (cold, `reshape_chunks = 1`) vs the full
+/// transform-ahead path (warm, `reshape_chunks = 0` — model-driven
+/// auto-k with next-axis butterflies running as chunks land). Unlike the
+/// §14 row the warm win comes from *compute* hidden under the wire, not
+/// just pack/unpack; testbox again, whose GPU-to-NIC ratio leaves enough
+/// butterfly time to hide (on the Summit model the wire so dominates that
+/// auto correctly stays at k = 1 and the row would be flat). At this size
+/// auto's pick ties the best fixed k, so the row also gates the selection
+/// model. Deterministic schedule-walker output on both legs.
+/// (`FFT_RESHAPE_CHUNKS` would override both legs; CI keeps it unset for
+/// the snapshot run.)
+fn transform_ahead_row() -> Row {
+    let m = MachineSpec::testbox(2);
+    let sim_ns = |chunks: usize| {
+        let opts = FftOptions {
+            reshape_chunks: chunks,
+            ..FftOptions::default()
+        };
+        let plan = FftPlan::build([128, 128, 128], 8, opts);
+        let mut runner = DryRunner::new(&plan, &m, DryRunOpts::default());
+        runner.timed_average(2, 4).as_ns() as f64
+    };
+    Row {
+        name: "transform_ahead_8ranks",
+        cold_ns: sim_ns(1),
+        warm_ns: sim_ns(0),
+    }
+}
+
 /// Deterministic cache/pool efficiency numbers for the snapshot: a fresh
 /// 8-rank functional run's scratch-pool stats (per-ctx, so parallel noise
 /// can't skew them) plus the process-wide plan-cache totals.
@@ -388,6 +418,7 @@ fn main() {
         reshape_pool_row(64),
         sweep_parallel_row(),
         reshape_overlap_row(),
+        transform_ahead_row(),
     ];
 
     let headline = rows[0].speedup();
@@ -411,7 +442,7 @@ fn main() {
     // they change the overlap schedule and the parallel split, two of the
     // biggest levers on the distributed rows.
     json.push_str(&format!(
-        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}, \"simd\": \"{}\", \"cpu\": \"{}\", \"reshape_chunks\": {}, \"exec_grain\": {}}},\n",
+        ",\n  \"env\": {{\"rustc\": \"{}\", \"git_rev\": \"{}\", \"threads\": {}, \"simd\": \"{}\", \"cpu\": \"{}\", \"reshape_chunks\": \"{}\", \"exec_grain\": {}}},\n",
         fft_bench::run_stamp("rustc", &["-V"]),
         fft_bench::run_stamp("git", &["rev-parse", "--short", "HEAD"]),
         fftmodels::sweep_threads(),

@@ -154,8 +154,9 @@ impl<'a> DryRunner<'a> {
         for c in 0..chunks {
             let (ilo, ihi) = Box3::chunk(plan.opts.batch, chunks, c);
             let items = ihi - ilo;
-            for step in &steps {
-                match *step {
+            let mut si = 0;
+            while si < steps.len() {
+                match steps[si] {
                     Step::LocalFft { dist, axis } => {
                         let first = self.ctx.first_strided(dist, axis, dir);
                         for r in 0..n {
@@ -177,25 +178,53 @@ impl<'a> DryRunner<'a> {
                                 dur: SimTime::from_ns(ns),
                             });
                         }
+                        si += 1;
                     }
                     Step::Reshape(ri) => {
                         let spec = &specs[ri];
                         let phase_id = self.ctx.next_phase_id();
                         let backend = plan.opts.backend;
+                        let to_dist = match dir {
+                            Direction::Forward => ri + 1,
+                            Direction::Inverse => ri,
+                        };
+                        // Transform-ahead candidate: the LocalFft step right
+                        // behind this reshape (mirrors `execute`'s peek).
+                        // When present, this branch books *all* ranks' next
+                        // axis transform — per chunk for pipelined ranks,
+                        // monolithically for the rest — and the step is
+                        // consumed for everyone.
+                        let next_fft = match steps.get(si + 1) {
+                            Some(Step::LocalFft { dist, axis }) if *dist == to_dist => {
+                                Some((*dist, *axis))
+                            }
+                            _ => None,
+                        };
+                        // One strided-warmup consumption per step position,
+                        // exactly where each functional rank would consume it.
+                        let next_first = next_fft.map(|(d, a)| self.ctx.first_strided(d, a, dir));
 
-                        // Per-rank pipelining gate, mirroring the functional
+                        // Per-group pipelining gate, mirroring the functional
                         // executor's per-group decision in `exchange_chunk`:
                         // a rank chunks iff its own group does.
-                        let pipe_k: Vec<Option<usize>> = (0..n)
-                            .map(|r| {
-                                spec.group_of[r].and_then(|gi| {
-                                    pipelined_k(
-                                        backend,
-                                        spec.groups[gi].len(),
-                                        plan.opts.reshape_chunks,
-                                    )
-                                })
+                        let group_k: Vec<Option<usize>> = spec
+                            .groups
+                            .iter()
+                            .map(|g| {
+                                pipelined_k(
+                                    plan,
+                                    spec,
+                                    self.machine,
+                                    &km,
+                                    self.opts.gpu_aware,
+                                    g,
+                                    items,
+                                    next_fft,
+                                )
                             })
+                            .collect();
+                        let pipe_k: Vec<Option<usize>> = (0..n)
+                            .map(|r| spec.group_of[r].and_then(|gi| group_k[gi]))
                             .collect();
 
                         // Local kernels bracketing the exchange, per rank.
@@ -216,6 +245,11 @@ impl<'a> DryRunner<'a> {
                                     .position(|&g| g == r)
                                     // fftlint:allow(no-panic-in-lib): every rank sits in its group
                                     .expect("rank in its own group");
+                                let pad_b = if backend == CommBackend::AllToAll {
+                                    spec.padded_block_bytes(group)
+                                } else {
+                                    0
+                                };
                                 let split = chunk_byte_split(
                                     spec,
                                     r,
@@ -223,6 +257,7 @@ impl<'a> DryRunner<'a> {
                                     me_sub,
                                     k_eff,
                                     backend.is_p2p(),
+                                    pad_b,
                                     items,
                                 );
                                 let mut pd = vec![SimTime::ZERO; k_eff];
@@ -305,16 +340,14 @@ impl<'a> DryRunner<'a> {
                             p2p_peers: 1, // per-peer overheads derive from the matrix
                             phase_id,
                         };
-                        for group in &spec.groups {
+                        for (gi, group) in spec.groups.iter().enumerate() {
                             let mut matrix = spec.group_byte_matrix(group);
                             for row in matrix.iter_mut() {
                                 for b in row.iter_mut() {
                                     *b *= items;
                                 }
                             }
-                            if let Some(k_eff) =
-                                pipelined_k(backend, group.len(), plan.opts.reshape_chunks)
-                            {
+                            if let Some(k_eff) = group_k[gi] {
                                 // Pipelined group: the same partitioned walker
                                 // the functional collectives run, fed the same
                                 // per-chunk entries (`call_entry.max(pack_done[k])`
@@ -330,10 +363,33 @@ impl<'a> DryRunner<'a> {
                                     })
                                     .collect();
                                 let times = match backend {
+                                    CommBackend::AllToAll => {
+                                        let pad = spec.padded_block_bytes(group) * items;
+                                        coll::alltoall_partitioned_exit_times(
+                                            &np,
+                                            &env,
+                                            self.opts.distro,
+                                            group,
+                                            &part_entries,
+                                            pad,
+                                            k_eff,
+                                        )
+                                    }
                                     CommBackend::AllToAllV => {
                                         coll::alltoallv_partitioned_exit_times(
                                             &np,
                                             &env,
+                                            group,
+                                            &part_entries,
+                                            &matrix,
+                                            k_eff,
+                                        )
+                                    }
+                                    CommBackend::AllToAllW => {
+                                        coll::alltoallw_partitioned_exit_times(
+                                            &np,
+                                            &env,
+                                            self.opts.distro,
                                             group,
                                             &part_entries,
                                             &matrix,
@@ -359,9 +415,6 @@ impl<'a> DryRunner<'a> {
                                             flavor,
                                         )
                                     }
-                                    _ => unreachable!(
-                                        "pipelined gate admits partitionable backends only"
-                                    ),
                                 };
                                 for (i, &r) in group.iter().enumerate() {
                                     let exit = times.exits[i];
@@ -389,8 +442,25 @@ impl<'a> DryRunner<'a> {
                                         });
                                     }
                                     self.net_clock[r] = exit;
+                                    // Per-chunk line counts of the consumed
+                                    // next-axis transform (same chunk → line
+                                    // map as the functional executor).
+                                    let line_counts: Option<Vec<usize>> =
+                                        next_fft.map(|(to_d, axis)| {
+                                            let to_box = plan.dists[to_d].rank_box(r);
+                                            spec.recv_line_runs(r, group, i, k_eff, to_box, axis)
+                                                .iter()
+                                                .map(|runs| {
+                                                    runs.iter()
+                                                        .map(|&(lo, hi)| hi - lo)
+                                                        .sum::<usize>()
+                                                })
+                                                .collect()
+                                        });
+                                    let mut first_pending = next_first.unwrap_or(false);
                                     // Per-chunk unpacks, each eligible as its
-                                    // chunk's receives land.
+                                    // chunk's receives land, then that chunk's
+                                    // butterflies (transform-ahead).
                                     for k in 0..k_eff {
                                         if backend.needs_pack() && unpack_split[k] > 0 {
                                             let ns = crate::plan::slowed_ns(
@@ -405,6 +475,32 @@ impl<'a> DryRunner<'a> {
                                                 start: st,
                                                 dur: SimTime::from_ns(ns),
                                             });
+                                        }
+                                        if let (Some((to_d, axis)), Some(counts)) =
+                                            (next_fft, line_counts.as_ref())
+                                        {
+                                            if counts[k] > 0 {
+                                                let first = first_pending;
+                                                first_pending = false;
+                                                let ns = crate::plan::slowed_ns(
+                                                    &self.opts.compute_slowdown,
+                                                    r,
+                                                    plan.local_fft_lines_ns(
+                                                        &km, to_d, axis, r, items, counts[k], first,
+                                                    ),
+                                                );
+                                                let st = self.gpu_clock[r].max(ready[k]);
+                                                self.gpu_clock[r] = st + SimTime::from_ns(ns);
+                                                traces[r].push(TraceEvent::Kernel {
+                                                    kind: KernelKind::Fft1d {
+                                                        axis,
+                                                        contiguous: plan.fft_layout(axis)
+                                                            == fftkern::kernel_model::LayoutKind::Contiguous,
+                                                    },
+                                                    start: st,
+                                                    dur: SimTime::from_ns(ns),
+                                                });
+                                            }
                                         }
                                     }
                                     data_ready[c][r] = self.gpu_clock[r].max(exit);
@@ -467,7 +563,8 @@ impl<'a> DryRunner<'a> {
                             }
                         }
 
-                        // Unpack.
+                        // Unpack (non-chunked ranks; chunked ranks already
+                        // unpacked per chunk above).
                         for r in 0..n {
                             if backend.needs_pack() && unpack_bytes[r] > 0 {
                                 let ns = crate::plan::slowed_ns(
@@ -485,6 +582,36 @@ impl<'a> DryRunner<'a> {
                                 });
                             }
                         }
+
+                        // The consumed next-axis transform for every rank
+                        // that did *not* run it per chunk — the same event
+                        // the standalone LocalFft arm would book.
+                        if let Some((to_d, axis)) = next_fft {
+                            let first = next_first.unwrap_or(false);
+                            for r in 0..n {
+                                if chunk_split[r].is_some() {
+                                    continue;
+                                }
+                                let ns = crate::plan::slowed_ns(
+                                    &self.opts.compute_slowdown,
+                                    r,
+                                    plan.local_fft_ns(&km, to_d, axis, r, items, first),
+                                );
+                                let start_k = self.gpu_clock[r].max(data_ready[c][r]);
+                                self.gpu_clock[r] = start_k + SimTime::from_ns(ns);
+                                data_ready[c][r] = self.gpu_clock[r];
+                                traces[r].push(TraceEvent::Kernel {
+                                    kind: KernelKind::Fft1d {
+                                        axis,
+                                        contiguous: plan.fft_layout(axis)
+                                            == fftkern::kernel_model::LayoutKind::Contiguous,
+                                    },
+                                    start: start_k,
+                                    dur: SimTime::from_ns(ns),
+                                });
+                            }
+                        }
+                        si += if next_fft.is_some() { 2 } else { 1 };
                     }
                 }
             }

@@ -63,18 +63,55 @@ pub fn par_min_elems() -> usize {
     })
 }
 
+/// How the per-peer reshape chunk count is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkSetting {
+    /// A fixed chunk count (still clamped per group to `p − 1`).
+    Fixed(usize),
+    /// Model-driven: per group, k = argmin of the extended pipeline model
+    /// [`auto_chunks_from_stages`] over a k-ladder (DESIGN.md §16).
+    Auto,
+}
+
+impl std::fmt::Display for ChunkSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkSetting::Fixed(n) => write!(f, "{n}"),
+            ChunkSetting::Auto => write!(f, "auto"),
+        }
+    }
+}
+
 /// Resolves the reshape-chunking setting: the `FFT_RESHAPE_CHUNKS`
-/// environment variable when set (parsed like `FFT_EXEC_THREADS`: integer,
-/// clamped ≥ 1, warn-once on garbage), otherwise the plan's
-/// `reshape_chunks` option. Read once per process so the functional
+/// environment variable when set (`auto`, or an integer clamped ≥ 1;
+/// warn-once on garbage), otherwise the plan's `reshape_chunks` option
+/// (`0` is the auto sentinel). Read once per process so the functional
 /// executor and the analytic dry-run — which both call this — cannot
 /// disagree mid-run.
-pub fn reshape_chunks_setting(opt_chunks: usize) -> usize {
-    static CHUNKS: OnceLock<Option<usize>> = OnceLock::new();
+pub fn reshape_chunks_setting(opt_chunks: usize) -> ChunkSetting {
+    static CHUNKS: OnceLock<Option<ChunkSetting>> = OnceLock::new();
     let env = *CHUNKS.get_or_init(|| {
-        fftobs::env::positive_var("FFT_RESHAPE_CHUNKS", "the plan's reshape_chunks option")
+        fftobs::env::parse_var(
+            "FFT_RESHAPE_CHUNKS",
+            "a positive integer or \"auto\"",
+            "the plan's reshape_chunks option",
+            |v| {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("auto") {
+                    Some(ChunkSetting::Auto)
+                } else {
+                    v.parse::<usize>()
+                        .ok()
+                        .map(|n| ChunkSetting::Fixed(n.max(1)))
+                }
+            },
+        )
     });
-    env.unwrap_or(opt_chunks).max(1)
+    env.unwrap_or(if opt_chunks == 0 {
+        ChunkSetting::Auto
+    } else {
+        ChunkSetting::Fixed(opt_chunks)
+    })
 }
 
 /// Effective chunk count for one communication group: the requested
@@ -84,23 +121,158 @@ pub fn effective_group_chunks(setting: usize, group_size: usize) -> usize {
     setting.min(group_size.saturating_sub(1)).max(1)
 }
 
-/// Chunk count of the pipelined reshape path for one group, `None` when
-/// the reshape runs monolithically: chunking needs a partitionable
-/// schedule (`AllToAllV` or the point-to-point backends — `AllToAll` is
-/// one tuned collective and `AllToAllW` hands packing to MPI) and at
-/// least 2 effective chunks.
-pub(crate) fn pipelined_k(
-    backend: CommBackend,
-    group_size: usize,
-    opt_chunks: usize,
-) -> Option<usize> {
-    if !matches!(
-        backend,
-        CommBackend::AllToAllV | CommBackend::P2p | CommBackend::P2pBlocking
-    ) {
-        return None;
+/// Largest chunk count the auto-k ladder considers. Past this the per-chunk
+/// latency term dominates every configuration we bench; bounding the ladder
+/// keeps the argmin scan O(1) per reshape.
+const AUTO_K_MAX: usize = 16;
+
+/// The duplicate of `fftmodels::t_pipelined_ext`'s argmin, expressed over
+/// integer nanoseconds: picks the chunk count k ∈ [1, max_k] minimizing
+///
+/// ```text
+/// T(k) = (t_pack + t_comm + t_unpack)/k + (k−1)/k · max(stage)   — §14 pipe
+///      + (k−1) · lat                                             — per-chunk cost
+///      + t_fft − min(t_fft, t_comm) · (k−1)/k                    — transform-ahead
+/// ```
+///
+/// smallest k winning ties. Lives here (not in `fftmodels`) because
+/// `fftmodels` depends on `distfft`; a property test over a k-ladder in
+/// `fftmodels` pins this duplicate to `t_pipelined_ext` exactly, so the
+/// two formulas cannot drift apart silently.
+pub fn auto_chunks_from_stages(
+    t_pack_ns: u64,
+    t_comm_ns: u64,
+    t_unpack_ns: u64,
+    t_fft_ns: u64,
+    lat_ns: u64,
+    max_k: usize,
+) -> usize {
+    let (p, c, u, f, l) = (
+        t_pack_ns as f64,
+        t_comm_ns as f64,
+        t_unpack_ns as f64,
+        t_fft_ns as f64,
+        lat_ns as f64,
+    );
+    let sum = p + c + u;
+    let bottleneck = p.max(c).max(u);
+    let mut best_k = 1usize;
+    let mut best = f64::INFINITY;
+    for k in 1..=max_k.max(1) {
+        let k_f = k as f64;
+        // Same association order as `t_pipelined` + `t_pipelined_ext` so
+        // the argmin cannot differ by a rounding ulp.
+        let t_pipe = sum / k_f + (k_f - 1.0) / k_f * bottleneck;
+        let overlap = f.min(c) * (k_f - 1.0) / k_f;
+        let t = t_pipe + (k_f - 1.0) * l + f - overlap;
+        if t < best {
+            best = t;
+            best_k = k;
+        }
     }
-    let k = effective_group_chunks(reshape_chunks_setting(opt_chunks), group_size);
+    best_k
+}
+
+/// Model-driven chunk count for one communication group: evaluates the
+/// group-level stage aggregates the §16 model needs — slowest member's
+/// pack/unpack kernels, slowest member's serialized wire time, and the
+/// next-axis FFT available for overlap — and returns the k-ladder argmin.
+///
+/// Every input is a group-level aggregate (max over members), so all
+/// members — and the dry-run walker pricing them — compute the same k
+/// without communicating. Wire time is priced per message via
+/// `simgrid::link::message_time_ns`-equivalent arithmetic on the spec's
+/// own latency/bandwidth figures; the per-chunk latency term charges two
+/// kernel launches (split pack + split unpack) plus one host sync per
+/// extra chunk.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn auto_group_chunks(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    machine: &simgrid::MachineSpec,
+    km: &fftkern::kernel_model::KernelTimeModel,
+    gpu_aware: bool,
+    group: &[usize],
+    items: usize,
+    next_fft: Option<(usize, usize)>,
+) -> usize {
+    let p = group.len();
+    if p <= 2 {
+        return 1;
+    }
+    let backend = plan.opts.backend;
+    let matrix = spec.group_byte_matrix(group);
+    let pad = if backend == CommBackend::AllToAll {
+        spec.padded_block_bytes(group)
+    } else {
+        0
+    };
+    let ctx = simgrid::link::TransferCtx {
+        gpu_aware,
+        offnode_flows_per_nic: machine.gpus_per_node.min(plan.nranks),
+        nodes_involved: machine.nodes_for(plan.nranks),
+    };
+    let (mut t_pack, mut t_comm, mut t_unpack, mut t_fft) = (0u64, 0u64, 0u64, 0u64);
+    for (i, &r) in group.iter().enumerate() {
+        if backend.needs_pack() {
+            let (pb, ub, _) = plan.reshape_local_bytes(spec, r);
+            t_pack = t_pack.max(plan.pack_ns(km, pb * items));
+            t_unpack = t_unpack.max(plan.unpack_ns(km, ub * items));
+        }
+        let mut wire = 0u64;
+        for (j, &dst) in group.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let bytes = if backend == CommBackend::AllToAll {
+                pad * items
+            } else {
+                matrix[i][j] * items
+            };
+            if bytes > 0 {
+                wire += simgrid::link::message_time_est_ns(machine, bytes, r, dst, &ctx);
+            }
+        }
+        t_comm = t_comm.max(wire);
+        if let Some((dist, axis)) = next_fft {
+            t_fft = t_fft.max(plan.local_fft_ns(km, dist, axis, r, items, false));
+        }
+    }
+    let lat = 2 * machine.gpu.launch_ns + machine.gpu_call_sync_ns;
+    auto_chunks_from_stages(
+        t_pack,
+        t_comm,
+        t_unpack,
+        t_fft,
+        lat,
+        (p - 1).min(AUTO_K_MAX),
+    )
+}
+
+/// Chunk count of the pipelined reshape path for one group, `None` when
+/// the reshape runs monolithically (k = 1). All four backends are
+/// partitionable since the padded-`AllToAll` and `AllToAllW` walkers
+/// landed; `Fixed` settings pass through the per-group clamp, `Auto`
+/// evaluates [`auto_group_chunks`] on group-level aggregates (identical
+/// on every member and in the dry-run walker).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pipelined_k(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    machine: &simgrid::MachineSpec,
+    km: &fftkern::kernel_model::KernelTimeModel,
+    gpu_aware: bool,
+    group: &[usize],
+    items: usize,
+    next_fft: Option<(usize, usize)>,
+) -> Option<usize> {
+    let requested = match reshape_chunks_setting(plan.opts.reshape_chunks) {
+        ChunkSetting::Fixed(n) => n,
+        ChunkSetting::Auto => {
+            auto_group_chunks(plan, spec, machine, km, gpu_aware, group, items, next_fft)
+        }
+    };
+    let k = effective_group_chunks(requested, group.len());
     (k >= 2).then_some(k)
 }
 
@@ -494,8 +666,9 @@ pub fn execute(
     let mut cur_dist = vec![start_dist; chunks];
     for (c, &(ilo, ihi)) in ranges.iter().enumerate() {
         let items = ihi - ilo;
-        for &step in &steps {
-            match *step {
+        let mut si = 0;
+        while si < steps.len() {
+            match *steps[si] {
                 Step::LocalFft { dist, axis } => {
                     let first = ctx.first_strided(dist, axis, dir);
                     let ns = crate::plan::slowed_ns(
@@ -527,6 +700,7 @@ pub fn execute(
                             ctx.baseline,
                         );
                     }
+                    si += 1;
                 }
                 Step::Reshape(ri) => {
                     let spec = &specs[ri];
@@ -535,7 +709,18 @@ pub fn execute(
                         Direction::Inverse => (ri + 1, ri),
                     };
                     debug_assert_eq!(cur_dist[c], from_dist);
-                    exchange_chunk(ExchangeArgs {
+                    // The axis transform that follows this reshape — the
+                    // transform-ahead candidate. A pipelined exchange runs
+                    // it per chunk as lines complete and *consumes* the
+                    // step; a monolithic exchange leaves it to the next
+                    // loop iteration.
+                    let next_fft = match steps.get(si + 1) {
+                        Some(Step::LocalFft { dist, axis }) if *dist == to_dist => {
+                            Some((*dist, *axis))
+                        }
+                        _ => None,
+                    };
+                    let consumed = exchange_chunk(ExchangeArgs {
                         plan,
                         spec,
                         sub: &comms[ri],
@@ -552,8 +737,11 @@ pub fn execute(
                         gpu_clock: &mut gpu_clock,
                         data_ready: &mut data_ready[c],
                         data: &mut data[ilo..ihi],
+                        dir,
+                        next_fft,
                     });
                     cur_dist[c] = to_dist;
+                    si += if consumed { 2 } else { 1 };
                 }
             }
         }
@@ -694,6 +882,82 @@ fn run_local_fft(
     }
 }
 
+/// Runs the next-axis butterflies for an explicit set of `[lo, hi)` line
+/// runs of the rank's box — the transform-ahead math (DESIGN.md §16). Rows
+/// transform independently through the same cached plan and interned
+/// twiddles, so executing the box's lines as disjoint sub-batches in chunk
+/// order is bit-identical to the full-batch pass in [`run_local_fft`].
+/// Runs execute serially against arena 0's kernel scratch: per-chunk
+/// batches are small slices of one rank's box, where fan-out cost exceeds
+/// the math (the same reasoning as [`par_min_elems`], applied per run).
+fn run_local_fft_lines(
+    b: &Box3,
+    axis: usize,
+    runs: &[(usize, usize)],
+    data: &mut [Vec<C64>],
+    dir: Direction,
+    arenas: &mut [ExecScratch],
+    baseline: bool,
+) {
+    let s = b.shape();
+    let n = s[axis];
+    if n == 0 || runs.is_empty() {
+        return;
+    }
+    let cache = fftkern::plan_cache();
+    let (batch, input, output) = match axis {
+        2 => (s[0] * s[1], Layout::contiguous(n), Layout::contiguous(n)),
+        1 => (s[2], Layout::strided(s[2]), Layout::strided(s[2])),
+        0 => (
+            s[1] * s[2],
+            Layout::strided(s[1] * s[2]),
+            Layout::strided(s[1] * s[2]),
+        ),
+        _ => unreachable!("axis out of range"),
+    };
+    let plan1d = if baseline {
+        std::sync::Arc::new(fftkern::plan::Plan1d::with_engine(
+            n,
+            batch,
+            input,
+            output,
+            fftkern::plan::Engine::Legacy,
+        ))
+    } else {
+        cache.plan1d(n, batch, input, output)
+    };
+    let kernel_elems = plan1d.scratch_elems();
+    for item in data.iter_mut() {
+        let kernel = arenas[0].kernel_for(kernel_elems);
+        for &(lo, hi) in runs {
+            match axis {
+                2 | 0 => plan1d.execute_lines_inplace_scratch(item, dir, kernel, lo, hi),
+                1 => {
+                    // Line index = i0·s2 + i2 — split the run at axis-0
+                    // plane boundaries, transforming within each plane
+                    // (the axis-1 plan is strided within one plane).
+                    let plane = s[1] * s[2];
+                    let mut cur = lo;
+                    while cur < hi {
+                        let i0 = cur / s[2];
+                        let plo = cur - i0 * s[2];
+                        let phi = (hi - i0 * s[2]).min(s[2]);
+                        plan1d.execute_lines_inplace_scratch(
+                            &mut item[i0 * plane..(i0 + 1) * plane],
+                            dir,
+                            kernel,
+                            plo,
+                            phi,
+                        );
+                        cur = i0 * s[2] + phi;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
 struct ExchangeArgs<'a, 'w> {
     plan: &'a FftPlan,
     spec: &'a ReshapeSpec,
@@ -711,12 +975,19 @@ struct ExchangeArgs<'a, 'w> {
     gpu_clock: &'a mut SimTime,
     data_ready: &'a mut SimTime,
     data: &'a mut [Vec<C64>],
+    dir: Direction,
+    /// The `(dist, axis)` of the LocalFft step immediately following this
+    /// reshape, when its dist is the reshape target — the transform-ahead
+    /// candidate the pipelined path consumes.
+    next_fft: Option<(usize, usize)>,
 }
 
 /// Executes one reshape for one pipeline chunk: pack kernel, exchange on the
 /// group sub-communicator, self-copy (P2P), unpack kernel, plus the actual
-/// data movement for every item in the chunk.
-fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
+/// data movement for every item in the chunk. Returns `true` when the
+/// pipelined path also ran the following axis transform per chunk
+/// (transform-ahead) — the caller must then skip that LocalFft step.
+fn exchange_chunk(a: ExchangeArgs<'_, '_>) -> bool {
     let ExchangeArgs {
         plan,
         spec,
@@ -734,6 +1005,8 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
         gpu_clock,
         data_ready,
         data,
+        dir,
+        next_fft,
     } = a;
     let me_world = rank.rank();
     let items = data.len();
@@ -742,14 +1015,26 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
     // Phase id must advance identically on every rank and in the dry run.
     let phase_id = ctx.next_phase_id();
 
-    // Pipelined reshape: per-peer chunks overlapping pack, send and unpack
-    // (DESIGN.md §14). Takes over the whole kernel + exchange chain.
+    // Pipelined reshape: per-peer chunks overlapping pack, send, unpack and
+    // the next axis transform (DESIGN.md §14/§16). Takes over the whole
+    // kernel + exchange chain.
     if let Some(sub) = sub {
-        if let Some(k_eff) = pipelined_k(backend, sub.size(), plan.opts.reshape_chunks) {
-            return exchange_chunk_pipelined(
+        let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+        if let Some(k_eff) = pipelined_k(
+            plan,
+            spec,
+            spec_machine,
+            km,
+            gpu_aware,
+            &members,
+            items,
+            next_fft,
+        ) {
+            exchange_chunk_pipelined(
                 plan,
                 spec,
                 sub,
+                &members,
                 reshape_label,
                 from_box,
                 to_box,
@@ -763,9 +1048,12 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
                 gpu_clock,
                 data_ready,
                 data,
+                dir,
+                next_fft,
                 phase_id,
                 k_eff,
             );
+            return next_fft.is_some();
         }
     }
 
@@ -907,24 +1195,31 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) {
         let prev = std::mem::replace(old, new);
         ctx.arenas[0].give(prev);
     }
+    false
 }
 
-/// The pipelined reshape (DESIGN.md §14): the exchange is split into
+/// The pipelined reshape (DESIGN.md §14/§16): the exchange is split into
 /// `k_eff` per-peer chunks by `mpisim::pattern::partition_of_step`, so
-/// packing for chunk `k+1` proceeds while chunk `k`'s sends are in flight
-/// and per-chunk unpack kernels start as each chunk's receives land —
-/// instead of the monolithic pack → exchange-barrier → unpack chain.
+/// packing for chunk `k+1` proceeds while chunk `k`'s sends are in flight,
+/// per-chunk unpack kernels start as each chunk's receives land, and —
+/// when the following step is the next axis transform (`next_fft`) — the
+/// Stockham butterflies for each chunk's newly-complete lines run right
+/// behind its unpack instead of barriering on the full exchange
+/// (transform-ahead).
 ///
 /// Data is bit-identical to the monolithic path: the same `build_sends`
-/// buffers go on the wire and one index-ordered `deposit_recvs` pass
-/// merges every received block, so chunk-completion order affects timing
-/// only. The analytic dry-run replays the same per-chunk kernel chain and
-/// the same partitioned walker, keeping the two modes in exact agreement.
+/// buffers go on the wire, one index-ordered `deposit_recvs` pass merges
+/// every received block, and the line-granular FFT batches partition the
+/// rank's rows exactly (rows transform independently), so chunk-completion
+/// order affects timing only. The analytic dry-run replays the same
+/// per-chunk kernel chain and the same partitioned walker, keeping the two
+/// modes in exact agreement.
 #[allow(clippy::too_many_arguments)]
 fn exchange_chunk_pipelined(
     plan: &FftPlan,
     spec: &ReshapeSpec,
     sub: &Comm,
+    members: &[usize],
     reshape_label: usize,
     from_box: &Box3,
     to_box: &Box3,
@@ -938,6 +1233,8 @@ fn exchange_chunk_pipelined(
     gpu_clock: &mut SimTime,
     data_ready: &mut SimTime,
     data: &mut [Vec<C64>],
+    dir: Direction,
+    next_fft: Option<(usize, usize)>,
     phase_id: u64,
     k_eff: usize,
 ) {
@@ -945,20 +1242,24 @@ fn exchange_chunk_pipelined(
     let items = data.len();
     let backend = plan.opts.backend;
     let is_p2p = backend.is_p2p();
-    let p = sub.size();
     let me_sub = sub.me();
-    let members: Vec<usize> = (0..p).map(|j| sub.member(j)).collect();
 
     let (_, _, self_b) = plan.reshape_local_bytes(spec, me_world);
     let self_b = self_b * items;
+    let pad_bytes = if backend == CommBackend::AllToAll {
+        spec.padded_block_bytes(members)
+    } else {
+        0
+    };
 
     // Per-chunk byte totals (pack, unpack, wire), assigned by the global
     // partition function so sender and receiver agree on every message's
     // chunk. Collective self flows belong to chunk 0 on both sides; the
     // P2P self block moves by device copy and stays outside these sums,
     // exactly as in `FftPlan::reshape_local_bytes`.
-    let (chunk_pack_b, chunk_unpack_b, chunk_wire_b) =
-        chunk_byte_split(spec, me_world, &members, me_sub, k_eff, is_p2p, items);
+    let (chunk_pack_b, chunk_unpack_b, chunk_wire_b) = chunk_byte_split(
+        spec, me_world, members, me_sub, k_eff, is_p2p, pad_bytes, items,
+    );
 
     // New local arrays in the target layout (zero-filled from the pool).
     let mut new_data: Vec<Vec<C64>> = (0..items)
@@ -1019,26 +1320,67 @@ fn exchange_chunk_pipelined(
     } else {
         ctx.arenas.len()
     };
-    let sends = build_sends(plan, spec, sub, from_box, data, items, &mut ctx.arenas[..w]);
-    let (recvd, times) = match backend {
-        CommBackend::AllToAllV => coll::alltoallv_partitioned(rank, sub, env, sends, &part_entries),
-        CommBackend::P2p => coll::p2p_exchange_partitioned(
+    let times = if backend == CommBackend::AllToAllW {
+        // Sub-array datatype delivery straight into the new layout — no
+        // caller-side pack/unpack kernels, same as the monolithic W path.
+        assert_eq!(
+            plan.opts.batch, 1,
+            "the Alltoallw backend supports batch == 1 only"
+        );
+        let (send_types, recv_types) = alltoallw_types(spec, sub, from_box, to_box);
+        coll::alltoallw_partitioned(
             rank,
             sub,
             env,
-            P2pFlavor::NonBlocking,
-            sends,
+            &data[0],
+            &send_types,
+            &mut new_data[0],
+            &recv_types,
             &part_entries,
-        ),
-        CommBackend::P2pBlocking => coll::p2p_exchange_partitioned(
-            rank,
+        )
+    } else {
+        let sends = build_sends(plan, spec, sub, from_box, data, items, &mut ctx.arenas[..w]);
+        let (recvd, times) = match backend {
+            CommBackend::AllToAll => {
+                coll::alltoall_partitioned(rank, sub, env, sends, &part_entries)
+            }
+            CommBackend::AllToAllV => {
+                coll::alltoallv_partitioned(rank, sub, env, sends, &part_entries)
+            }
+            CommBackend::P2p => coll::p2p_exchange_partitioned(
+                rank,
+                sub,
+                env,
+                P2pFlavor::NonBlocking,
+                sends,
+                &part_entries,
+            ),
+            CommBackend::P2pBlocking => coll::p2p_exchange_partitioned(
+                rank,
+                sub,
+                env,
+                P2pFlavor::Blocking,
+                sends,
+                &part_entries,
+            ),
+            CommBackend::AllToAllW => unreachable!("handled above"),
+        };
+        // Deposits stay a single index-ordered merge over every received
+        // block — bit-identical to the monolithic path regardless of the
+        // chunks' completion order.
+        deposit_recvs(
+            plan,
+            spec,
             sub,
-            env,
-            P2pFlavor::Blocking,
-            sends,
-            &part_entries,
-        ),
-        _ => unreachable!("pipelined path gates on partitionable backends"),
+            to_box,
+            &recvd,
+            &mut new_data,
+            &mut ctx.arenas[..w],
+        );
+        for (j, buf) in recvd.into_iter().enumerate() {
+            ctx.arenas[j % w].give(buf);
+        }
+        times
     };
     let exit = rank.now();
     let ready = &times.part_ready[me_sub];
@@ -1063,24 +1405,20 @@ fn exchange_chunk_pipelined(
         });
     }
 
-    // Deposits stay a single index-ordered merge over every received
-    // block — bit-identical to the monolithic path regardless of the
-    // chunks' completion order.
-    deposit_recvs(
-        plan,
-        spec,
-        sub,
-        to_box,
-        &recvd,
-        &mut new_data,
-        &mut ctx.arenas[..w],
-    );
-    for (j, buf) in recvd.into_iter().enumerate() {
-        ctx.arenas[j % w].give(buf);
-    }
+    // Transform-ahead: the next axis transform's lines, grouped by the
+    // chunk whose arrival completes them. The first-call spike (if any)
+    // lands on the first chunk that actually transforms lines, exactly as
+    // the monolithic LocalFft arm would charge it.
+    let line_runs = next_fft
+        .map(|(_, axis)| spec.recv_line_runs(me_world, members, me_sub, k_eff, to_box, axis));
+    let mut first_pending = match next_fft {
+        Some((dist, axis)) => ctx.first_strided(dist, axis, dir),
+        None => false,
+    };
 
     // Per-chunk unpack kernels, each eligible as soon as its chunk's
-    // receives have landed — the unpack/recv overlap.
+    // receives have landed — the unpack/recv overlap — followed by that
+    // chunk's butterflies (the transform-ahead compute-under-wire).
     for k in 0..k_eff {
         if backend.needs_pack() && chunk_unpack_b[k] > 0 {
             let ns =
@@ -1093,12 +1431,53 @@ fn exchange_chunk_pipelined(
                 dur: SimTime::from_ns(ns),
             });
         }
+        if let (Some((dist, axis)), Some(runs)) = (next_fft, line_runs.as_ref()) {
+            let lines: usize = runs[k].iter().map(|&(lo, hi)| hi - lo).sum();
+            if lines > 0 {
+                let first = first_pending;
+                first_pending = false;
+                let ns = crate::plan::slowed_ns(
+                    slowdowns,
+                    me_world,
+                    plan.local_fft_lines_ns(km, dist, axis, me_world, items, lines, first),
+                );
+                let start = (*gpu_clock).max(ready[k]);
+                *gpu_clock = start + SimTime::from_ns(ns);
+                trace.push(TraceEvent::Kernel {
+                    kind: KernelKind::Fft1d {
+                        axis,
+                        contiguous: plan.fft_layout(axis)
+                            == fftkern::kernel_model::LayoutKind::Contiguous,
+                    },
+                    start,
+                    dur: SimTime::from_ns(ns),
+                });
+            }
+        }
     }
     *data_ready = (*gpu_clock).max(exit);
 
     for (old, new) in data.iter_mut().zip(new_data) {
         let prev = std::mem::replace(old, new);
         ctx.arenas[0].give(prev);
+    }
+
+    // The real butterfly math for the consumed LocalFft step, on the
+    // swapped-in arrays: every line in chunk order. Row transforms are
+    // independent, so this is bit-identical to the full-batch pass.
+    if let (Some((_, axis)), Some(runs)) = (next_fft, line_runs) {
+        if !to_box.is_empty() {
+            let flat: Vec<(usize, usize)> = runs.into_iter().flatten().collect();
+            run_local_fft_lines(
+                to_box,
+                axis,
+                &flat,
+                data,
+                dir,
+                &mut ctx.arenas,
+                ctx.baseline,
+            );
+        }
     }
 }
 
@@ -1109,6 +1488,14 @@ pub(crate) type ChunkBytes = (Vec<usize>, Vec<usize>, Vec<usize>);
 /// wire) totals under the global partition function — shared by the
 /// functional executor and the analytic dry-run so both price identical
 /// chunk kernels and identical per-chunk MPI-call byte counts.
+///
+/// `pad_bytes > 0` selects padded-`AllToAll` accounting: every block —
+/// present or not, self included — is the group-maximum padded size, so
+/// each chunk's pack/unpack/wire totals count whole padded blocks (this
+/// intentionally differs from the monolithic path's amortized
+/// `real_recv.max(total/2)` unpack estimate; only the chunked executor and
+/// the chunked dry-run need to agree).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn chunk_byte_split(
     spec: &ReshapeSpec,
     me_world: usize,
@@ -1116,6 +1503,7 @@ pub(crate) fn chunk_byte_split(
     me_sub: usize,
     k_eff: usize,
     is_p2p: bool,
+    pad_bytes: usize,
     items: usize,
 ) -> ChunkBytes {
     use mpisim::pattern::partition_of_step;
@@ -1126,6 +1514,19 @@ pub(crate) fn chunk_byte_split(
     let mut unpack = vec![0usize; k_eff];
     let mut wire = vec![0usize; k_eff];
     for j in 0..p {
+        if pad_bytes > 0 {
+            if j == me_sub {
+                pack[0] += pad_bytes;
+                unpack[0] += pad_bytes;
+            } else {
+                let sp = partition_of_step((j + p - me_sub) % p, p, k_eff);
+                pack[sp] += pad_bytes;
+                wire[sp] += pad_bytes;
+                let rp = partition_of_step((me_sub + p - j) % p, p, k_eff);
+                unpack[rp] += pad_bytes;
+            }
+            continue;
+        }
         if j == me_sub {
             if !is_p2p {
                 if let Some(r) = send_idx[j] {
@@ -1253,25 +1654,16 @@ fn deposit_recvs(
     });
 }
 
-/// Runs the Alltoallw path: sub-array datatypes over the local arrays, no
-/// caller-side packing. Batched transforms are restricted to one item here
-/// (Algorithm 2 is not batched in the paper either).
-#[allow(clippy::too_many_arguments)]
-fn run_alltoallw(
-    plan: &FftPlan,
+/// Builds the per-member sub-array datatypes of the Alltoallw path: one
+/// send type per destination (a region of `from_box`) and one recv type
+/// per source (a region of `to_box`), empty where no flow exists. Shared
+/// by the monolithic and partitioned W exchanges.
+fn alltoallw_types(
     spec: &ReshapeSpec,
     sub: &Comm,
-    env: PhaseEnv,
-    rank: &mut Rank,
     from_box: &Box3,
     to_box: &Box3,
-    data: &mut [Vec<C64>],
-    new_data: &mut [Vec<C64>],
-) {
-    assert_eq!(
-        plan.opts.batch, 1,
-        "the Alltoallw backend supports batch == 1 only"
-    );
+) -> (Vec<Subarray>, Vec<Subarray>) {
     let me_world = sub.member(sub.me());
     let empty_send = Subarray::new(from_box.shape(), [0, 0, 0], [0, 0, 0]);
     let empty_recv = Subarray::new(to_box.shape(), [0, 0, 0], [0, 0, 0]);
@@ -1308,6 +1700,29 @@ fn run_alltoallw(
                 .unwrap_or(empty_recv)
         })
         .collect();
+    (send_types, recv_types)
+}
+
+/// Runs the Alltoallw path: sub-array datatypes over the local arrays, no
+/// caller-side packing. Batched transforms are restricted to one item here
+/// (Algorithm 2 is not batched in the paper either).
+#[allow(clippy::too_many_arguments)]
+fn run_alltoallw(
+    plan: &FftPlan,
+    spec: &ReshapeSpec,
+    sub: &Comm,
+    env: PhaseEnv,
+    rank: &mut Rank,
+    from_box: &Box3,
+    to_box: &Box3,
+    data: &mut [Vec<C64>],
+    new_data: &mut [Vec<C64>],
+) {
+    assert_eq!(
+        plan.opts.batch, 1,
+        "the Alltoallw backend supports batch == 1 only"
+    );
+    let (send_types, recv_types) = alltoallw_types(spec, sub, from_box, to_box);
 
     coll::alltoallw(
         rank,
@@ -1365,8 +1780,9 @@ mod tests {
         for k_eff in [2usize, 4, 7] {
             for (me_sub, &me) in members.iter().enumerate() {
                 for is_p2p in [false, true] {
-                    let (pack, unpack, wire) =
-                        super::chunk_byte_split(&spec, me, &members, me_sub, k_eff, is_p2p, items);
+                    let (pack, unpack, wire) = super::chunk_byte_split(
+                        &spec, me, &members, me_sub, k_eff, is_p2p, 0, items,
+                    );
                     let self_b = spec.bytes(me, me) * items;
                     let wire_total: usize = wire.iter().sum();
                     assert_eq!(wire_total, spec.offrank_send_bytes(me) * items);
@@ -1382,5 +1798,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_byte_split_padded_counts_whole_blocks() {
+        use crate::procgrid::Distribution;
+        use crate::reshape::ReshapeSpec;
+        let a = Distribution::new([8, 8, 8], [2, 2, 2], 8);
+        let b = Distribution::new([8, 8, 8], [1, 2, 4], 8);
+        let spec = ReshapeSpec::build(&a, &b);
+        let members: Vec<usize> = (0..8).collect();
+        let pad = spec.padded_block_bytes(&members);
+        let items = 2usize;
+        let p = members.len();
+        for k_eff in [2usize, 4, 7] {
+            for (me_sub, &me) in members.iter().enumerate() {
+                let (pack, unpack, wire) =
+                    super::chunk_byte_split(&spec, me, &members, me_sub, k_eff, false, pad, items);
+                // Padded accounting: every block is the group max — p packed
+                // and unpacked blocks (self included), p − 1 on the wire.
+                assert_eq!(pack.iter().sum::<usize>(), pad * p * items);
+                assert_eq!(unpack.iter().sum::<usize>(), pad * p * items);
+                assert_eq!(wire.iter().sum::<usize>(), pad * (p - 1) * items);
+                // Chunk 0 always carries the self block.
+                assert!(pack[0] >= pad * items && unpack[0] >= pad * items);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_chunks_prefers_one_when_nothing_overlaps() {
+        // Zero comm and zero fft: splitting only adds latency.
+        assert_eq!(super::auto_chunks_from_stages(1000, 0, 1000, 0, 500, 8), 1);
+        // Latency-free with a dominant wire: more chunks always help, so
+        // the ladder cap wins.
+        assert_eq!(
+            super::auto_chunks_from_stages(1000, 100_000, 1000, 0, 0, 8),
+            8
+        );
+    }
+
+    #[test]
+    fn auto_chunks_finds_interior_optimum() {
+        // Comparable stages with real per-chunk latency: the argmin lands
+        // strictly inside the ladder.
+        let k = super::auto_chunks_from_stages(40_000, 120_000, 40_000, 60_000, 9_000, 16);
+        assert!(k > 1 && k < 16, "interior optimum, got {k}");
     }
 }

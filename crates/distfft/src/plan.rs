@@ -92,13 +92,16 @@ pub struct FftOptions {
     /// overlap (Fig. 13). Clamped to `batch`.
     pub pipeline_chunks: usize,
     /// Per-peer chunks each reshape exchange is split into so packing,
-    /// sends, and unpacking overlap (pipelined reshapes; DESIGN.md §14).
-    /// `1` = the monolithic pack → exchange → unpack path. Clamped per
+    /// sends, unpacking, and the *next axis transform* overlap (pipelined
+    /// reshapes + transform-ahead; DESIGN.md §14/§16). `1` = the monolithic
+    /// pack → exchange → unpack path. `0` = model-driven auto-selection
+    /// (argmin of the extended pipeline model; DESIGN.md §16). Clamped per
     /// group to `peers` (= group size − 1); groups of 2 never chunk.
-    /// Overridable at runtime via `FFT_RESHAPE_CHUNKS`. Only the
-    /// `AllToAllV` and point-to-point backends honor it: `AllToAll` is a
-    /// single tuned collective and `AllToAllW` hands packing to MPI, so
-    /// neither exposes a partition seam.
+    /// Overridable at runtime via `FFT_RESHAPE_CHUNKS` (a positive integer
+    /// or `auto`). All four backends honor it: padded `AllToAll` chunks its
+    /// uniform blocks and `AllToAllW` chunks sub-array datatype delivery
+    /// (both on the posted-scatter schedule), alongside the `AllToAllV` and
+    /// point-to-point paths from DESIGN.md §14.
     pub reshape_chunks: usize,
 }
 
@@ -527,6 +530,43 @@ impl FftPlan {
         km.batched_fft_1d_ns(
             b.len(axis),
             rows,
+            layout,
+            first_call && layout == LayoutKind::Strided,
+        )
+    }
+
+    /// Modeled duration (ns) of a *partial* local FFT pass along `axis`:
+    /// `lines` axis lines (per batch item) instead of the rank's full box.
+    /// Used by the transform-ahead schedule, which runs the next-axis
+    /// butterflies per reshape chunk as its lines complete (DESIGN.md §16).
+    /// Returns 0 when `lines == 0` so empty chunks price (and emit) nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_fft_lines_ns(
+        &self,
+        km: &KernelTimeModel,
+        dist: usize,
+        axis: usize,
+        rank: usize,
+        items: usize,
+        lines: usize,
+        first_call: bool,
+    ) -> u64 {
+        if lines == 0 {
+            return 0;
+        }
+        let b = self.dists[dist].rank_box(rank);
+        if b.is_empty() {
+            return 0;
+        }
+        debug_assert_eq!(
+            b.len(axis),
+            self.n[axis],
+            "axis {axis} not local in distribution {dist}"
+        );
+        let layout = self.fft_layout(axis);
+        km.batched_fft_1d_ns(
+            b.len(axis),
+            lines * items,
             layout,
             first_call && layout == LayoutKind::Strided,
         )

@@ -46,8 +46,11 @@ pub struct Real3dPlan {
 
 impl Real3dPlan {
     /// Builds the plan. The backend/GPU options of `opts` apply to every
-    /// reshape; `opts.decomp`/`io`/`batch` are fixed by the r2c pipeline
-    /// (pencils, brick I/O, single transform).
+    /// reshape, and `opts.decomp` picks the intermediate layout family
+    /// (slabs when requested and within the `min(n0, n1)` rank limit,
+    /// pencils otherwise — the same Fig. 1 trade-off as the complex plan);
+    /// `opts.io`/`batch` are fixed by the r2c pipeline (brick I/O, single
+    /// transform).
     pub fn try_build(
         n: [usize; 3],
         nranks: usize,
@@ -63,13 +66,52 @@ impl Real3dPlan {
         let h = m + 1;
         let mp = [n[0], n[1], m];
         let mh = [n[0], n[1], h];
-        let (p, q) = closest_factor_pair(nranks);
 
         let base = FftOptions {
             batch: 1,
             shrink_to: None,
             ..opts
         };
+
+        if base.decomp == crate::Decomp::Slabs && nranks > 1 {
+            let limit = mp[0].min(mp[1]);
+            if nranks > limit {
+                return Err(PlanError::SlabLimit {
+                    active: nranks,
+                    limit,
+                });
+            }
+            // Slab pipeline (one fewer reshape than pencils): axis-1 slabs
+            // keep axes 0 and 2 local, so the half-domain axis-0 transform
+            // runs in the same layout the axis-2 stage left behind.
+            let d_in = Distribution::new(mp, min_surface_grid(nranks, mp), nranks);
+            let d_z = Distribution::new(mp, [1, nranks, 1], nranks);
+            let plan_a = hand_rolled(
+                mp,
+                nranks,
+                base.clone(),
+                vec![d_in, d_z],
+                vec![vec![], vec![2]],
+            );
+            let c0 = Distribution::new(mh, [1, nranks, 1], nranks);
+            let c1 = Distribution::new(mh, [nranks, 1, 1], nranks);
+            let c2 = Distribution::new(mh, min_surface_grid(nranks, mh), nranks);
+            let plan_c = hand_rolled(
+                mh,
+                nranks,
+                base,
+                vec![c0, c1, c2],
+                vec![vec![0], vec![1], vec![]],
+            );
+            return Ok(Real3dPlan {
+                n,
+                h,
+                plan_a,
+                plan_c,
+            });
+        }
+
+        let (p, q) = closest_factor_pair(nranks);
 
         // Plan A: packed brick -> (P, Q, 1) pencils, FFT along axis 2.
         let d_in = Distribution::new(mp, min_surface_grid(nranks, mp), nranks);
@@ -284,6 +326,37 @@ impl Real3dPlan {
         out
     }
 
+    /// Busiest-rank packed volume (the fold/unfold pointwise extent).
+    fn max_packed(&self) -> usize {
+        (0..self.plan_a.nranks)
+            .map(|r| self.plan_a.dists[0].rank_box(r).volume())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Busiest-rank axis-2 line count in the z-pencil layout (the
+    /// untangle/retangle pointwise extent is `rows × h` / `rows × m`).
+    fn max_rows(&self) -> usize {
+        let m = self.n[2] / 2;
+        (0..self.plan_a.nranks)
+            .map(|r| self.plan_a.dists[1].rank_box(r).volume() / m.max(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pointwise (fold + untangle) cost of a forward transform at the
+    /// busiest rank — the r2c-specific kernels outside the two inner plans.
+    pub fn pointwise_forward_ns(&self, km: &fftkern::kernel_model::KernelTimeModel) -> u64 {
+        km.pointwise_ns(self.max_packed(), 2.0) + km.pointwise_ns(self.max_rows() * self.h, 12.0)
+    }
+
+    /// Pointwise (retangle + unfold) cost of an inverse transform at the
+    /// busiest rank.
+    pub fn pointwise_inverse_ns(&self, km: &fftkern::kernel_model::KernelTimeModel) -> u64 {
+        let m = self.n[2] / 2;
+        km.pointwise_ns(self.max_rows() * m, 12.0) + km.pointwise_ns(self.max_packed(), 2.0)
+    }
+
     /// Simulated-time cost of one forward transform at any scale via the
     /// analytic executor: the two inner plans dry-run back to back, plus
     /// the fold/untangle pointwise kernels (charged at the busiest rank —
@@ -299,19 +372,22 @@ impl Real3dPlan {
         let ra = a.run(Direction::Forward);
         let mut c = crate::dryrun::DryRunner::new(&self.plan_c, machine, opts);
         let rc = c.run(Direction::Forward);
+        ra.makespan() + rc.makespan() + SimTime::from_ns(self.pointwise_forward_ns(&km))
+    }
 
-        let max_packed = (0..self.plan_a.nranks)
-            .map(|r| self.plan_a.dists[0].rank_box(r).volume())
-            .max()
-            .unwrap_or(0);
-        let m = self.n[2] / 2;
-        let max_rows = (0..self.plan_a.nranks)
-            .map(|r| self.plan_a.dists[1].rank_box(r).volume() / m.max(1))
-            .max()
-            .unwrap_or(0);
-        let fold = km.pointwise_ns(max_packed, 2.0);
-        let untangle = km.pointwise_ns(max_rows * self.h, 12.0);
-        ra.makespan() + rc.makespan() + SimTime::from_ns(fold + untangle)
+    /// Simulated-time cost of one inverse (c2r) transform: the inner plans
+    /// retraced in reverse, plus the retangle/unfold pointwise kernels.
+    pub fn dryrun_inverse(
+        &self,
+        machine: &simgrid::MachineSpec,
+        opts: crate::dryrun::DryRunOpts,
+    ) -> SimTime {
+        let km = machine.kernel_model();
+        let mut c = crate::dryrun::DryRunner::new(&self.plan_c, machine, opts.clone());
+        let rc = c.run(Direction::Inverse);
+        let mut a = crate::dryrun::DryRunner::new(&self.plan_a, machine, opts);
+        let ra = a.run(Direction::Inverse);
+        rc.makespan() + ra.makespan() + SimTime::from_ns(self.pointwise_inverse_ns(&km))
     }
 }
 

@@ -354,6 +354,71 @@ impl ReshapeSpec {
         }
         m
     }
+
+    /// Transform-ahead chunk → complete-line map (DESIGN.md §16).
+    ///
+    /// When `rank` (group index `me_sub` within sorted `members`) chunks its
+    /// reshape exchange into `k_eff` per-peer chunks, each axis line of the
+    /// receive box `to_box` is transformable once *every* receive region
+    /// touching it has deposited. The region from group index `j` lands
+    /// with chunk `partition_of_step((me_sub + p − j) mod p, p, k_eff)`
+    /// (the self block is chunk 0), so a line's arrival chunk is the max
+    /// over its regions. Returns, per chunk, the maximal `[lo, hi)` runs of
+    /// line indices that become complete with that chunk. Line indices are
+    /// the batch indices the next-axis FFT kernel sees (axis 2:
+    /// `i0·s1 + i1`; axis 1: `i0·s2 + i2`; axis 0: `i1·s2 + i2`); every
+    /// line of `to_box` appears in exactly one chunk.
+    pub fn recv_line_runs(
+        &self,
+        rank: usize,
+        members: &[usize],
+        me_sub: usize,
+        k_eff: usize,
+        to_box: &Box3,
+        axis: usize,
+    ) -> Vec<Vec<(usize, usize)>> {
+        assert!(k_eff >= 1, "need at least one chunk");
+        let p = members.len();
+        let total = if to_box.is_empty() {
+            0
+        } else {
+            to_box.volume() / to_box.len(axis)
+        };
+        let mut arrival = vec![0usize; total];
+        // The two dims spanning the line grid, and the fast-dim width.
+        let (da, db) = match axis {
+            2 => (0, 1),
+            1 => (0, 2),
+            _ => (1, 2),
+        };
+        let width = to_box.len(db);
+        for (j, region) in self.recv_region_index(rank, members).iter().enumerate() {
+            let Some(r) = region else { continue };
+            let chunk = if j == me_sub {
+                0
+            } else {
+                mpisim::pattern::partition_of_step((me_sub + p - j) % p, p, k_eff)
+            };
+            for ia in (r.lo[da] - to_box.lo[da])..(r.hi[da] - to_box.lo[da]) {
+                for ib in (r.lo[db] - to_box.lo[db])..(r.hi[db] - to_box.lo[db]) {
+                    let l = ia * width + ib;
+                    arrival[l] = arrival[l].max(chunk);
+                }
+            }
+        }
+        let mut runs = vec![Vec::new(); k_eff];
+        let mut l = 0;
+        while l < total {
+            let c = arrival[l];
+            let mut hi = l + 1;
+            while hi < total && arrival[hi] == c {
+                hi += 1;
+            }
+            runs[c].push((l, hi));
+            l = hi;
+        }
+        runs
+    }
 }
 
 /// Applies the local (self) part of a reshape: copies the overlap of the
@@ -678,6 +743,49 @@ mod tests {
                 dst: stranger
             })
         );
+    }
+
+    #[test]
+    fn recv_line_runs_partition_every_line_exactly_once() {
+        // Brick → pencil (one group of 8) and pencil → pencil (groups of
+        // 2–4): for every rank, axis, and chunk count, the run lists must
+        // tile [0, lines) with disjoint, in-order runs — the transform-ahead
+        // schedule relies on every next-axis line firing in exactly one
+        // chunk.
+        let cases = [
+            ([2usize, 2, 2], [1usize, 2, 4], 0usize),
+            ([1, 2, 4], [2, 1, 4], 1),
+            ([2, 1, 4], [2, 4, 1], 2),
+        ];
+        for (ga, gb, axis) in cases {
+            let a = Distribution::new([8, 9, 10], ga, 8);
+            let b = Distribution::new([8, 9, 10], gb, 8);
+            let rs = ReshapeSpec::build(&a, &b);
+            for g in &rs.groups {
+                for (me_sub, &r) in g.iter().enumerate() {
+                    let to_box = b.boxes[r];
+                    let lines = to_box.volume() / to_box.len(axis);
+                    for k_eff in [1usize, 2, 3, 7] {
+                        let runs = rs.recv_line_runs(r, g, me_sub, k_eff, &to_box, axis);
+                        assert_eq!(runs.len(), k_eff);
+                        let mut seen = vec![false; lines];
+                        for per_chunk in &runs {
+                            for &(lo, hi) in per_chunk {
+                                assert!(lo < hi && hi <= lines, "run in bounds");
+                                for (l, s) in seen.iter_mut().enumerate().take(hi).skip(lo) {
+                                    assert!(!*s, "line {l} assigned twice");
+                                    *s = true;
+                                }
+                            }
+                        }
+                        assert!(seen.iter().all(|&s| s), "every line covered");
+                        if k_eff == 1 {
+                            assert_eq!(runs[0], vec![(0, lines)], "k=1 is monolithic");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

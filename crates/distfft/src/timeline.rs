@@ -18,11 +18,13 @@
 //!
 //! Pipelined reshapes (DESIGN.md §14) emit *overlapping* spans on one
 //! rank: a chunk's MPI call is still in flight while the next chunk's
-//! pack or an earlier chunk's unpack runs on the GPU. A cell covered by
-//! both a kernel span and an MPI span renders as `+` rather than letting
-//! one lane silently swallow the other; events may also arrive in the
-//! trace out of timestamp order (chunk completions interleave), which
-//! the column sweep tolerates by construction.
+//! pack or an earlier chunk's unpack runs on the GPU — and under
+//! transform-ahead (DESIGN.md §16) even the *next axis'* butterflies run
+//! beneath the wire as completed lines arrive chunk by chunk. A cell
+//! covered by both a kernel span and an MPI span renders as `+` rather
+//! than letting one lane silently swallow the other; events may also
+//! arrive in the trace out of timestamp order (chunk completions
+//! interleave), which the column sweep tolerates by construction.
 
 use simgrid::SimTime;
 
@@ -316,6 +318,20 @@ mod tests {
         let row = s.lines().next().unwrap();
         assert!(row.contains("####++++##"), "row was: {row}");
         assert!(s.contains("'+' comm+kernel overlap"), "legend: {s}");
+    }
+
+    #[test]
+    fn transform_ahead_butterflies_under_wire_render_overlap() {
+        // Transform-ahead: the next axis' Fft1d runs on lines whose chunks
+        // have already landed while the tail chunks' MPI call is still in
+        // flight. The butterfly-under-wire cells must render '+', and the
+        // post-exchange FFT cells keep 'F'.
+        let mut t = Trace::new();
+        t.push(mpi(0, 600));
+        t.push(fft(300, 500));
+        let s = render(&[t], 10);
+        let row = s.lines().next().unwrap();
+        assert!(row.contains("###+++++FF"), "row was: {row}");
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! *timing* optimization: per-peer chunks overlap pack, send, and unpack,
 //! but the same buffers go on the wire and one index-ordered deposit pass
 //! merges them — so distributed output must stay bit-identical to the
-//! monolithic path across chunk counts {1, peers/2, peers} × executor
-//! thread counts {1, 4}, over pow2, mixed-radix, and Bluestein grids, on
-//! both partitionable backends. Simulated times must be invariant to
+//! monolithic path across chunk counts {1, 2, peers/2, peers, auto} ×
+//! executor thread counts {1, 4}, over pow2, mixed-radix, and Bluestein
+//! grids, on both partitionable backends. The transform-ahead schedule
+//! (ISSUE 9) additionally runs next-axis butterflies line-by-line as
+//! chunks land, so this matrix also pins that per-line execution matches
+//! the whole-batch kernel bit for bit. Simulated times must be invariant to
 //! thread count *within* a chunk setting, and (unless the
 //! `FFT_RESHAPE_CHUNKS` env override flattens every config to one
 //! setting) chunking must actually change the schedule somewhere.
@@ -95,10 +98,12 @@ fn chunked_output_bit_identical_to_monolithic() {
         let mut any_schedule_diff = false;
         for n in GRIDS {
             let (ref_bits, ref_times) = run(n, backend, 1, 1);
-            // peers/2 and peers for the 8-rank boundary group; both clamp
-            // per group to `size - 1`, exercising mixed chunked/monolithic
-            // groups within one reshape.
-            for chunks in [4usize, 8] {
+            // 2, peers/2, and peers for the 8-rank boundary group (the
+            // larger two clamp per group to `size - 1`, exercising mixed
+            // chunked/monolithic groups within one reshape), plus the
+            // `0 = auto` sentinel whose model-picked k must be just as
+            // invariant.
+            for chunks in [2usize, 4, 8, 0] {
                 let (bits, times) = run(n, backend, chunks, 1);
                 assert_eq!(
                     bits, ref_bits,
@@ -192,8 +197,9 @@ mod digests {
     fn chunked_replay_digests_invariant_across_threads() {
         // The chunked schedule is deterministic: timing digests must not
         // move with the executor thread count, and a repeated run must
-        // reproduce the full digest (timing + pool accounting) exactly.
-        for chunks in [1usize, 4] {
+        // reproduce the full digest (timing + pool accounting) exactly —
+        // including under the transform-ahead auto sentinel (chunks = 0).
+        for chunks in [1usize, 4, 0] {
             let (r1, p1) = run_digest(chunks, 1);
             let (r4, _) = run_digest(chunks, 4);
             assert_eq!(

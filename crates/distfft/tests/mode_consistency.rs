@@ -339,6 +339,101 @@ fn chunked_reshapes_consistent_under_jitter_and_stragglers() {
 }
 
 #[test]
+fn chunked_padded_alltoall_consistent() {
+    // ISSUE 9: the padded AllToAll backend chunks via the partitioned
+    // walker with whole padded blocks per chunk. Uneven extents force
+    // real padding; both executors must agree event-by-event, including
+    // on the transform-ahead butterfly chunks.
+    check_consistency(
+        MachineSpec::summit(),
+        [10, 9, 8],
+        8,
+        FftOptions {
+            backend: CommBackend::AllToAll,
+            reshape_chunks: 4,
+            ..FftOptions::default()
+        },
+        summit_opts(),
+        2,
+    );
+}
+
+#[test]
+fn chunked_alltoallw_consistent_on_both_distros() {
+    // The sub-array AllToAllW backend has no pack/unpack kernels; the
+    // partitioned walker charges its per-chunk datatype exchanges
+    // directly. Both MPI distro models must agree with the functional
+    // executor.
+    for distro in [MpiDistro::SpectrumMpi, MpiDistro::MvapichGdr] {
+        check_consistency(
+            MachineSpec::summit(),
+            [8, 8, 8],
+            8,
+            FftOptions {
+                backend: CommBackend::AllToAllW,
+                reshape_chunks: 4,
+                ..FftOptions::default()
+            },
+            WorldOpts {
+                distro,
+                ..WorldOpts::default()
+            },
+            2,
+        );
+    }
+}
+
+#[test]
+fn chunked_padded_backends_consistent_under_jitter_and_stragglers() {
+    // Chunk arrival order reshuffles under per-message jitter and a slow
+    // GPU; the padded partitioned walkers must still agree exactly.
+    for backend in [CommBackend::AllToAll, CommBackend::AllToAllW] {
+        check_consistency(
+            MachineSpec::summit(),
+            [8, 8, 8],
+            8,
+            FftOptions {
+                backend,
+                reshape_chunks: 7,
+                ..FftOptions::default()
+            },
+            WorldOpts {
+                noise_amplitude: 0.04,
+                seed: 77,
+                compute_slowdown: vec![(2, 3.0)],
+                ..WorldOpts::default()
+            },
+            2,
+        );
+    }
+}
+
+#[test]
+fn auto_chunking_consistent() {
+    // `reshape_chunks: 0` = auto: the model-driven k must be derived
+    // identically (group-level aggregates only) by both executors.
+    for backend in [
+        CommBackend::AllToAllV,
+        CommBackend::AllToAll,
+        CommBackend::AllToAllW,
+        CommBackend::P2p,
+    ] {
+        check_consistency(
+            MachineSpec::summit(),
+            [8, 8, 8],
+            8,
+            FftOptions {
+                backend,
+                reshape_chunks: 0,
+                ..FftOptions::default()
+            },
+            summit_opts(),
+            2,
+        );
+    }
+}
+
+#[test]
 fn chunked_batched_pipeline_consistent() {
     // Chunked reshapes compose with the batched transform pipeline.
     check_consistency(

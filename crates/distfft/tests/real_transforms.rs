@@ -142,3 +142,75 @@ fn r2c_dryrun_cheaper_than_c2c() {
 fn odd_n2_rejected() {
     assert!(Real3dPlan::try_build([8, 8, 7], 4, FftOptions::default()).is_err());
 }
+
+#[test]
+fn slab_r2c_roundtrip_and_matches_pencils() {
+    // The slab pipeline (one fewer reshape) must produce the same spectrum
+    // as the pencil pipeline and round-trip to the input.
+    let n = [8usize, 8, 6];
+    let ranks = 4;
+    let slabs = FftOptions {
+        decomp: distfft::Decomp::Slabs,
+        ..FftOptions::default()
+    };
+    let plan_s = Real3dPlan::build(n, ranks, slabs);
+    let plan_p = Real3dPlan::build(n, ranks, FftOptions::default());
+    assert_eq!(
+        plan_s.plan_a.reshapes.len() + plan_s.plan_c.reshapes.len() + 1,
+        plan_p.plan_a.reshapes.len() + plan_p.plan_c.reshapes.len(),
+        "slabs must save one reshape over pencils"
+    );
+    let global = real_field(n);
+    let mh = [n[0], n[1], plan_s.h];
+    let whole_h = Box3::whole(mh);
+
+    let spectrum_of = |plan: &Real3dPlan| -> Vec<C64> {
+        let world = World::new(MachineSpec::testbox(2), ranks, WorldOpts::default());
+        let blocks = world.run(|rank| {
+            let comm = Comm::world(rank);
+            let bound = plan.bind(rank, &comm);
+            let mut ctx = ExecCtx::new();
+            let mine = scatter_reals(&global, plan, rank.rank());
+            let spec = plan.execute_forward(&bound, &mut ctx, rank, &comm, &mine);
+            let back = plan.execute_inverse(&bound, &mut ctx, rank, &comm, spec.clone());
+            let norm = plan.normalization();
+            let err = back
+                .iter()
+                .zip(&mine)
+                .map(|(got, want)| (got / norm - want).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "roundtrip error {err}");
+            spec
+        });
+        let mut got = vec![C64::ZERO; mh[0] * mh[1] * mh[2]];
+        for (r, block) in blocks.iter().enumerate() {
+            let b = plan.spectrum_box(r);
+            if !b.is_empty() {
+                whole_h.deposit(&mut got, &b, block);
+            }
+        }
+        got
+    };
+
+    let s = spectrum_of(&plan_s);
+    let p = spectrum_of(&plan_p);
+    let err = s
+        .iter()
+        .zip(&p)
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-9, "slab vs pencil spectrum differs by {err}");
+}
+
+#[test]
+fn slab_rank_limit_rejected() {
+    let err = Real3dPlan::try_build(
+        [4, 4, 8],
+        8,
+        FftOptions {
+            decomp: distfft::Decomp::Slabs,
+            ..FftOptions::default()
+        },
+    );
+    assert!(err.is_err(), "8 ranks of 4-wide slabs must be rejected");
+}

@@ -433,6 +433,66 @@ impl Plan1d {
         }
     }
 
+    /// Executes only batch lines `lo..hi` in place, leaving every other
+    /// line untouched. Each line's transform reads and writes nothing
+    /// outside its own layout footprint, so running the batch as any
+    /// sequence of disjoint line ranges is bit-identical to one
+    /// [`execute_inplace_scratch`](Plan1d::execute_inplace_scratch) call —
+    /// the property the distributed transform-ahead schedule relies on to
+    /// start butterflies on lines whose reshape chunks have landed.
+    pub fn execute_lines_inplace_scratch(
+        &self,
+        data: &mut [C64],
+        dir: Direction,
+        scratch: &mut [C64],
+        lo: usize,
+        hi: usize,
+    ) {
+        assert!(lo <= hi && hi <= self.batch, "line range out of bounds");
+        if lo == hi {
+            return;
+        }
+        assert!(
+            data.len() >= self.required_input_len().max(self.required_output_len()),
+            "buffer too small for in-place batch"
+        );
+        let (sa, sb, tile) = self.split_scratch(scratch);
+        if self.engine != Engine::Legacy {
+            if self.packed_rows() {
+                for row in data[lo * self.n..hi * self.n].chunks_exact_mut(self.n) {
+                    self.algo.execute_scratch(row, dir, sa, sb);
+                }
+                return;
+            }
+            if self.tileable() {
+                let t_lines = self.tile_lines();
+                let mut base = lo;
+                while base < hi {
+                    let t = t_lines.min(hi - base);
+                    gather_tile(data, self.input.stride, base, t, self.n, tile);
+                    for r in tile[..t * self.n].chunks_exact_mut(self.n) {
+                        self.algo.execute_scratch(r, dir, sa, sb);
+                    }
+                    scatter_tile(data, self.output.stride, base, t, self.n, tile);
+                    base += t;
+                }
+                return;
+            }
+        }
+        let row = &mut tile[..self.n];
+        for b in lo..hi {
+            let ibase = b * self.input.dist;
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = data[ibase + j * self.input.stride];
+            }
+            self.algo.execute_scratch(row, dir, sa, sb);
+            let obase = b * self.output.dist;
+            for (k, r) in row.iter().enumerate() {
+                data[obase + k * self.output.stride] = *r;
+            }
+        }
+    }
+
     /// True when input and output are both packed contiguous rows — the
     /// zero-copy fast path.
     fn packed_rows(&self) -> bool {
@@ -674,6 +734,48 @@ mod tests {
         auto.execute_inplace(&mut a, Direction::Forward);
         legacy.execute_inplace(&mut b, Direction::Forward);
         assert!(max_abs_diff(&a, &b) < 1e-9 * (n * batch) as f64);
+    }
+
+    #[test]
+    fn line_ranges_are_bit_identical_to_full_batch() {
+        // Every execute path (packed rows, blocked tiles, per-line
+        // gather/scatter) must give byte-identical results whether the batch
+        // runs whole or as disjoint line ranges in order — the contract the
+        // distributed transform-ahead schedule depends on.
+        let cases: Vec<Plan1d> = vec![
+            Plan1d::contiguous(16, 37),
+            Plan1d::with_layout(16, 100, Layout::strided(100), Layout::strided(100)),
+            Plan1d::with_engine(
+                16,
+                9,
+                Layout::strided(9),
+                Layout::strided(9),
+                Engine::Legacy,
+            ),
+        ];
+        for plan in cases {
+            let x = signal(plan.required_input_len().max(plan.required_output_len()));
+            let mut whole = x.clone();
+            let mut scratch = vec![C64::ZERO; plan.scratch_elems()];
+            plan.execute_inplace_scratch(&mut whole, Direction::Forward, &mut scratch);
+            let mut split = x;
+            let batch = plan.batch();
+            let cuts = [0, batch / 3, batch / 3 + 1, (2 * batch) / 3, batch];
+            for w in cuts.windows(2) {
+                plan.execute_lines_inplace_scratch(
+                    &mut split,
+                    Direction::Forward,
+                    &mut scratch,
+                    w[0],
+                    w[1],
+                );
+            }
+            assert!(
+                max_abs_diff(&whole, &split) == 0.0,
+                "line-range execution diverged for {}",
+                plan.algo_name()
+            );
+        }
     }
 
     #[test]

@@ -103,6 +103,38 @@ pub fn t_pipelined(t_pack: f64, t_comm: f64, t_unpack: f64, k: usize) -> f64 {
     sum / k_f + (k_f - 1.0) / k_f * bottleneck
 }
 
+/// Transform-ahead pipelined reshape estimate (DESIGN.md §16): extends
+/// [`t_pipelined`] with the two effects that give the chunk count a real
+/// interior optimum and make auto-selection possible.
+///
+/// * **Per-chunk latency** `lat`: each extra chunk pays one more round of
+///   message/posting overheads, adding `(k−1)·lat`. This is what keeps
+///   `k → ∞` from looking free.
+/// * **Compute overlap ceiling** `t_fft`: with transform-ahead, the next
+///   axis transform of lines completed by early chunks runs while late
+///   chunks are still on the wire. The first chunk's lines are not
+///   available until it lands, so at most `(k−1)/k` of the transform can
+///   hide — and it can never hide more than the wire time it hides under:
+///
+/// `T(k) = T_pipe(k) + (k−1)·lat + T_fft − min(T_fft, T_comm)·(k−1)/k`
+///
+/// `k = 1` recovers the strict chain `T_pack + T_comm + T_unpack + T_fft`.
+/// `FFT_RESHAPE_CHUNKS=auto` picks `argmin_k T(k)`; the executor's
+/// duplicate of this formula (`distfft::exec::auto_chunks_from_stages`,
+/// pinned equal by a property test here) keeps the crate graph acyclic.
+pub fn t_pipelined_ext(
+    t_pack: f64,
+    t_comm: f64,
+    t_unpack: f64,
+    t_fft: f64,
+    lat: f64,
+    k: usize,
+) -> f64 {
+    let k_f = k.max(1) as f64;
+    let overlap = t_fft.min(t_comm) * (k_f - 1.0) / k_f;
+    t_pipelined(t_pack, t_comm, t_unpack, k) + (k_f - 1.0) * lat + t_fft - overlap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +159,102 @@ mod tests {
         }
         // Large k approaches the bottleneck (comm) alone.
         assert!((t_pipelined(p, c, u, 1 << 20) - c) / c < 1e-3);
+    }
+
+    #[test]
+    fn pipelined_ext_k1_is_the_strict_chain_plus_fft() {
+        let (p, c, u, f, l) = (2e-3, 5e-3, 1.5e-3, 3e-3, 1e-4);
+        assert!((t_pipelined_ext(p, c, u, f, l, 1) - (p + c + u + f)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pipelined_ext_has_an_interior_optimum() {
+        // With a meaningful per-chunk latency the cost must fall from k=1
+        // (overlap wins) and rise again for huge k (latency dominates) —
+        // the interior optimum auto-selection exists to find.
+        let (p, c, u, f, l) = (2e-3, 5e-3, 1.5e-3, 3e-3, 4e-4);
+        let t1 = t_pipelined_ext(p, c, u, f, l, 1);
+        let best = (1..=64)
+            .map(|k| t_pipelined_ext(p, c, u, f, l, k))
+            .fold(f64::INFINITY, f64::min);
+        let t64 = t_pipelined_ext(p, c, u, f, l, 64);
+        assert!(best < t1, "chunking should beat the strict chain");
+        assert!(t64 > best, "unbounded k should pay for its latency");
+    }
+
+    #[test]
+    fn pipelined_ext_overlap_never_exceeds_wire_or_fft() {
+        let (p, c, u, l) = (2e-3, 5e-3, 1.5e-3, 0.0);
+        for k in 1..=32 {
+            // Overlap is capped by the transform itself...
+            let tiny_fft = 1e-6;
+            assert!(t_pipelined_ext(p, c, u, tiny_fft, l, k) >= t_pipelined(p, c, u, k));
+            // ...and by the wire time it hides under.
+            let huge_fft = 50e-3;
+            assert!(
+                t_pipelined_ext(p, c, u, huge_fft, l, k) >= t_pipelined(p, c, u, k) + huge_fft - c
+            );
+        }
+    }
+
+    #[test]
+    fn auto_k_is_the_argmin_of_the_extended_pipeline_model() {
+        // The executor keeps an integer-nanosecond duplicate of the §16
+        // argmin (`distfft::exec::auto_chunks_from_stages`) because this
+        // crate depends on `distfft`, not the other way around. Property:
+        // over a deterministic ladder of stage mixes — wire-bound,
+        // kernel-bound, fft-heavy, latency-heavy, and degenerate zero
+        // stages — the executor's pick equals argmin_k `t_pipelined_ext`
+        // evaluated on the same (ns-valued) inputs, ties to the smallest k.
+        let mut state = 0x2545_F491_4F6C_DD1D_u64;
+        let mut next = move |lo: u64, hi: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            lo + state % (hi - lo + 1)
+        };
+        let mut cases: Vec<(u64, u64, u64, u64, u64)> = vec![
+            (0, 0, 0, 0, 0),
+            (1_000, 0, 1_000, 0, 500),
+            (1_000, 100_000, 1_000, 0, 0),
+            (40_000, 120_000, 40_000, 60_000, 9_000),
+            (0, 50_000, 0, 200_000, 1),
+        ];
+        for _ in 0..400 {
+            cases.push((
+                next(0, 200_000),
+                next(0, 500_000),
+                next(0, 200_000),
+                next(0, 400_000),
+                next(0, 20_000),
+            ));
+        }
+        for (pack, comm, unpack, fft, lat) in cases {
+            for max_k in [1usize, 2, 7, 16] {
+                let got =
+                    distfft::exec::auto_chunks_from_stages(pack, comm, unpack, fft, lat, max_k);
+                let mut want = 1usize;
+                let mut best = f64::INFINITY;
+                for k in 1..=max_k {
+                    let t = t_pipelined_ext(
+                        pack as f64,
+                        comm as f64,
+                        unpack as f64,
+                        fft as f64,
+                        lat as f64,
+                        k,
+                    );
+                    if t < best {
+                        best = t;
+                        want = k;
+                    }
+                }
+                assert_eq!(
+                    got, want,
+                    "argmin diverged: stages=({pack},{comm},{unpack},{fft},{lat}) max_k={max_k}"
+                );
+            }
+        }
     }
 
     #[test]

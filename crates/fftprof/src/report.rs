@@ -166,6 +166,9 @@ impl Profile {
             for p in PHASES {
                 s.push_str(&format!(", \"{}\": {}", esc(p.label()), bd.get(p)));
             }
+            // Side account (not a tiling phase): compute hidden under an
+            // in-flight exchange by the transform-ahead schedule.
+            s.push_str(&format!(", \"overlap_ns\": {}", bd.overlap_ns));
             s.push_str(&format!(", \"total_ns\": {}}}", bd.total_ns()));
             s.push_str(if r + 1 < self.phases.per_rank.len() {
                 ",\n"

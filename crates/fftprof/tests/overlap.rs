@@ -27,7 +27,11 @@ fn profiled(chunks: usize) -> Profile {
     let mut runner = DryRunner::new(&plan, &machine, DryRunOpts::default());
     runner.run(Direction::Forward);
     let rep = runner.run(Direction::Forward);
-    let label = if chunks > 1 { "chunked" } else { "monolithic" };
+    let label = match chunks {
+        0 => "auto",
+        1 => "monolithic",
+        _ => "chunked",
+    };
     Profile::build(label, &plan, &machine, true, &rep.traces)
 }
 
@@ -58,6 +62,71 @@ fn chunking_reduces_recv_wait_plus_idle() {
         "chunking must not lengthen this workload: on={} ns, off={} ns",
         on.makespan_ns(),
         off.makespan_ns()
+    );
+}
+
+#[test]
+fn transform_ahead_hides_butterflies_under_the_wire() {
+    // ISSUE 9 A/B: with chunking on, the next axis' butterflies start as
+    // chunks land, so (a) the profiler books a nonzero compute-under-wire
+    // overlap account, (b) recv-wait shrinks — waiting became compute —
+    // and (c) the makespan strictly drops vs the monolithic exchange
+    // (PR 7's overlap alone was nearly makespan-neutral here).
+    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+        return;
+    }
+    let off = profiled(1);
+    let on = profiled(8);
+    let t_off = off.phases.totals();
+    let t_on = on.phases.totals();
+    assert_eq!(
+        t_off.overlap_ns, 0,
+        "monolithic exchanges have no compute under the wire"
+    );
+    assert!(
+        t_on.overlap_ns > 0,
+        "transform-ahead must hide butterflies under in-flight exchanges"
+    );
+    assert!(
+        t_on.get(Phase::RecvWait) < t_off.get(Phase::RecvWait),
+        "recv-wait must shrink: on={} ns, off={} ns",
+        t_on.get(Phase::RecvWait),
+        t_off.get(Phase::RecvWait)
+    );
+    assert!(
+        on.makespan_ns() < off.makespan_ns(),
+        "transform-ahead must shorten the makespan: on={} ns, off={} ns",
+        on.makespan_ns(),
+        off.makespan_ns()
+    );
+    // The overlap account is a side ledger, never tiling: per rank it is
+    // bounded by the compute entry.
+    for (r, bd) in on.phases.per_rank.iter().enumerate() {
+        assert!(
+            bd.overlap_ns <= bd.get(Phase::Compute),
+            "rank {r}: overlap {} exceeds compute {}",
+            bd.overlap_ns,
+            bd.get(Phase::Compute)
+        );
+    }
+}
+
+#[test]
+fn auto_chunking_profiles_like_a_tuned_fixed_k() {
+    // `reshape_chunks: 0` is the auto sentinel: the model-picked k must
+    // land within a whisker of the best fixed setting on this workload.
+    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+        return;
+    }
+    let auto = profiled(0);
+    let best = (1..=7)
+        .map(|k| profiled(k).makespan_ns())
+        .min()
+        .unwrap_or(u64::MAX);
+    let auto_ns = auto.makespan_ns();
+    assert!(
+        auto_ns as f64 <= best as f64 * 1.05,
+        "auto ({auto_ns} ns) must be within 5% of the best fixed k ({best} ns)"
     );
 }
 

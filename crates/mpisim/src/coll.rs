@@ -35,6 +35,8 @@ const MEMO_BARRIER: u8 = 5;
 const MEMO_ALLGATHER: u8 = 6;
 const MEMO_ALLTOALLV_PART: u8 = 7;
 const MEMO_P2P_PART: u8 = 8;
+const MEMO_ALLTOALL_PART: u8 = 9;
+const MEMO_ALLTOALLW_PART: u8 = 10;
 
 /// Flattens a byte matrix into a memo signature.
 fn matrix_sig(matrix: &[Vec<usize>]) -> Vec<usize> {
@@ -387,6 +389,113 @@ pub fn p2p_exchange_partitioned_exit_times(
     unflatten_partitioned(flat, p, nparts)
 }
 
+/// Exit and per-chunk ready times of a **partitioned padded**
+/// `MPI_Alltoall`: every pair carries the same `bytes_per_pair` padded
+/// block, split into `nparts` chunks by [`pattern::partition_of_step`].
+///
+/// Unlike the monolithic [`alltoall_exit_times`], the algorithm is *not*
+/// selected by the distribution profile: a partitioned exchange must keep
+/// per-peer messages intact so a receiver can match chunk `k`'s blocks as
+/// they land, which rules out Bruck's log-round payload mixing and the
+/// pairwise schedule's step-synchronized sendrecv rounds. Chunking forces
+/// the posted-scatter schedule (`MPI_Psend_init`-style partitioned
+/// transfers resolve to per-partition point-to-point traffic); `distro`
+/// still keys the memo so profile switches never replay a stale schedule.
+#[allow(clippy::too_many_arguments)]
+pub fn alltoall_partitioned_exit_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    distro: crate::distro::MpiDistro,
+    group: &[usize],
+    part_entries: &[Vec<SimTime>],
+    bytes_per_pair: usize,
+    nparts: usize,
+) -> pattern::PartitionedTimes {
+    fftobs::count("mpisim.calls.alltoall_part", 1);
+    fftobs::count(
+        "mpisim.bytes.alltoall_part",
+        (bytes_per_pair * group.len() * group.len()) as u64,
+    );
+    let p = group.len();
+    let flat_entries: Vec<SimTime> = part_entries.iter().flatten().copied().collect();
+    let sig = vec![bytes_per_pair, nparts];
+    let flat = pattern::memo_exits(
+        np,
+        env,
+        (MEMO_ALLTOALL_PART, distro as u64),
+        group,
+        &flat_entries,
+        sig,
+        || {
+            let pe = shift_part_entries(part_entries, coll_setup_ns(p) + call_sync_ns(np));
+            flatten_partitioned(pattern::partitioned_scatter_times(
+                np,
+                env,
+                group,
+                &pe,
+                &|_, _| bytes_per_pair,
+                P2pFlavor::NonBlocking,
+                true,
+                &|_, _| 0,
+                &|_, _| 0,
+            ))
+        },
+    );
+    unflatten_partitioned(flat, p, nparts)
+}
+
+/// Exit and per-chunk ready times of a **partitioned** `MPI_Alltoallw`
+/// with sub-array datatypes: [`alltoallw_exit_times`]' naive scatter
+/// (per-message derived-datatype assembly on both sides, SpectrumMPI
+/// GPU-awareness loss) with chunked send eligibility. There is no caller
+/// pack/unpack, so the win from chunking Alltoallw is entirely on the
+/// receive side: `part_ready[me][k]` lets the next axis transform start
+/// on sub-arrays whose chunks have deposited.
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallw_partitioned_exit_times(
+    np: &NetParams,
+    env: &PhaseEnv,
+    distro: crate::distro::MpiDistro,
+    group: &[usize],
+    part_entries: &[Vec<SimTime>],
+    matrix: &[Vec<usize>],
+    nparts: usize,
+) -> pattern::PartitionedTimes {
+    fftobs::count("mpisim.calls.alltoallw_part", 1);
+    fftobs::count("mpisim.bytes.alltoallw_part", matrix_bytes(matrix));
+    let p = group.len();
+    let mut eff_env = *env;
+    eff_env.gpu_aware = env.gpu_aware && distro.alltoallw_gpu_aware();
+    let (setup_ns, pack_gbs) = distro.alltoallw_dtype_cost();
+    let dtype_cost = move |bytes: usize| setup_ns + (bytes as f64 / pack_gbs).ceil() as u64;
+    let flat_entries: Vec<SimTime> = part_entries.iter().flatten().copied().collect();
+    let mut sig = matrix_sig(matrix);
+    sig.push(nparts);
+    let flat = pattern::memo_exits(
+        np,
+        &eff_env,
+        (MEMO_ALLTOALLW_PART, distro as u64),
+        group,
+        &flat_entries,
+        sig,
+        || {
+            let pe = shift_part_entries(part_entries, coll_setup_ns(p) + call_sync_ns(np));
+            flatten_partitioned(pattern::partitioned_scatter_times(
+                np,
+                &eff_env,
+                group,
+                &pe,
+                &|i, j| matrix[i][j],
+                P2pFlavor::NonBlocking,
+                true,
+                &|i, j| dtype_cost(matrix[i][j]),
+                &|i, j| dtype_cost(matrix[i][j]),
+            ))
+        },
+    );
+    unflatten_partitioned(flat, p, nparts)
+}
+
 /// Moves the data payloads with `(entry time, byte row)` metadata fused
 /// onto every message, in one control-plane rendezvous. Every member sends
 /// to every member anyway, so the metadata that the old separate
@@ -635,6 +744,91 @@ pub fn p2p_exchange_partitioned<T: Copy + Send + 'static>(
     );
     rank.clock.sync_to(times.exits[comm.me()]);
     (recvd, times)
+}
+
+/// Partitioned padded `MPI_Alltoall`: equal padded blocks per pair,
+/// chunked send eligibility, per-chunk receive completion. See
+/// [`alltoallv_partitioned`] for the contract and
+/// [`alltoall_partitioned_exit_times`] for why the schedule is always the
+/// posted scatter rather than Bruck/pairwise.
+pub fn alltoall_partitioned<T: Copy + Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    env: PhaseEnv,
+    sends: Vec<Vec<T>>,
+    my_part_entries: &[SimTime],
+) -> (Vec<Vec<T>>, pattern::PartitionedTimes) {
+    assert_eq!(sends.len(), comm.size(), "one send buffer per member");
+    let nparts = my_part_entries.len();
+    assert!(nparts >= 1, "at least one partition");
+    let elem = std::mem::size_of::<T>();
+    let block = sends.first().map(|s| s.len()).unwrap_or(0);
+    assert!(
+        sends.iter().all(|s| s.len() == block),
+        "MPI_Alltoall requires equal block sizes; use alltoallv"
+    );
+    let bytes_per_pair = block * elem;
+    let row: Vec<usize> = vec![bytes_per_pair; comm.size()];
+    let (pes, _matrix, recvd) = fused_partitioned_exchange(rank, comm, my_part_entries, row, sends);
+    assert!(
+        pes.iter().all(|pe| pe.len() == nparts),
+        "all members must agree on the partition count"
+    );
+    let np = net_params(rank);
+    let times = alltoall_partitioned_exit_times(
+        &np,
+        &env,
+        rank.world().opts().distro,
+        comm.members(),
+        &pes,
+        bytes_per_pair,
+        nparts,
+    );
+    rank.clock.sync_to(times.exits[comm.me()]);
+    (recvd, times)
+}
+
+/// Partitioned `MPI_Alltoallw` with sub-array datatypes: the data movement
+/// of [`alltoallw`] (datatypes packed/unpacked internally, no caller
+/// buffers) with chunked send eligibility and per-chunk receive
+/// completion. `recv_parent` holds every deposited sub-array on return;
+/// the returned [`pattern::PartitionedTimes`] tells the caller when each
+/// chunk's sub-arrays had landed so the next axis transform can start on
+/// them in simulated time.
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallw_partitioned<T: Copy + Send + 'static>(
+    rank: &mut Rank,
+    comm: &Comm,
+    env: PhaseEnv,
+    send_parent: &[T],
+    send_types: &[Subarray],
+    recv_parent: &mut [T],
+    recv_types: &[Subarray],
+    my_part_entries: &[SimTime],
+) -> pattern::PartitionedTimes {
+    let p = comm.size();
+    assert_eq!(send_types.len(), p, "one send datatype per member");
+    assert_eq!(recv_types.len(), p, "one recv datatype per member");
+    let nparts = my_part_entries.len();
+    assert!(nparts >= 1, "at least one partition");
+    let elem = std::mem::size_of::<T>();
+    let distro = rank.world().opts().distro;
+
+    let row: Vec<usize> = send_types.iter().map(|t| t.elem_count() * elem).collect();
+    let sends: Vec<Vec<T>> = send_types.iter().map(|t| t.pack(send_parent)).collect();
+    let (pes, matrix, recvd) = fused_partitioned_exchange(rank, comm, my_part_entries, row, sends);
+    assert!(
+        pes.iter().all(|pe| pe.len() == nparts),
+        "all members must agree on the partition count"
+    );
+    let np = net_params(rank);
+    let times =
+        alltoallw_partitioned_exit_times(&np, &env, distro, comm.members(), &pes, &matrix, nparts);
+    for (j, block) in recvd.into_iter().enumerate() {
+        recv_types[j].unpack(&block, recv_parent);
+    }
+    rank.clock.sync_to(times.exits[comm.me()]);
+    times
 }
 
 /// `MPI_Barrier` (dissemination schedule).
@@ -1011,6 +1205,77 @@ mod tests {
                 } else {
                     assert!(block.is_empty());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_alltoall_delivers_padded_blocks() {
+        let n = 8;
+        let w = world_n(n);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            // Equal padded blocks, as the padded-AllToAll reshape sends them.
+            let sends: Vec<Vec<u32>> = (0..n)
+                .map(|j| vec![100 * r.rank() as u32 + j as u32; 64])
+                .collect();
+            let pe = vec![r.now(); 4];
+            let (got, times) = alltoall_partitioned(r, &comm, env_for(n), sends, &pe);
+            (got, times, r.now())
+        });
+        for (me, (got, times, t)) in out.iter().enumerate() {
+            assert_eq!(*t, times.exits[me], "clock must land on the exit time");
+            for r in &times.part_ready[me] {
+                assert!(*r <= times.exits[me]);
+            }
+            // Early chunks must be usable strictly before the call exits —
+            // the whole point of partitioning the padded collective.
+            assert!(times.part_ready[me][0] < times.exits[me]);
+            for (src, block) in got.iter().enumerate() {
+                assert_eq!(block.len(), 64);
+                assert!(block.iter().all(|v| *v == 100 * src as u32 + me as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_alltoallw_matches_monolithic_data() {
+        let n = 6;
+        let side = 8usize;
+        let w = world_n(n);
+        let out = w.run(|r| {
+            let comm = Comm::world(r);
+            let parent: Vec<u64> = (0..side * side * n)
+                .map(|i| (r.rank() * 1000 + i) as u64)
+                .collect();
+            let sizes = [side, side, n];
+            let types: Vec<Subarray> = (0..n)
+                .map(|j| Subarray::new(sizes, [side, side, 1], [0, 0, j]))
+                .collect();
+            let mut mono = vec![0u64; side * side * n];
+            alltoallw(r, &comm, env_for(n), &parent, &types, &mut mono, &types);
+            let mut part = vec![0u64; side * side * n];
+            let pe = vec![r.now(); 3];
+            let times = alltoallw_partitioned(
+                r,
+                &comm,
+                env_for(n),
+                &parent,
+                &types,
+                &mut part,
+                &types,
+                &pe,
+            );
+            (mono, part, times, r.now())
+        });
+        for (me, (mono, part, times, t)) in out.iter().enumerate() {
+            assert_eq!(
+                mono, part,
+                "partitioned alltoallw changed the deposited data"
+            );
+            assert_eq!(*t, times.exits[me]);
+            for r in &times.part_ready[me] {
+                assert!(*r <= times.exits[me]);
             }
         }
     }

@@ -98,6 +98,24 @@ pub fn message_time_ns(
         fftobs::count(msgs, 1);
         fftobs::count(byte_cnt, bytes as u64);
     }
+    priced_time_ns(spec, bytes, link, ctx)
+}
+
+/// [`message_time_ns`] without the `simgrid.msgs.*` counter bumps: for
+/// *model probes* (e.g. the reshape auto-chunking argmin) that price a
+/// hypothetical message without simulating one — the observability
+/// counters must keep counting only traffic that actually moved.
+pub fn message_time_est_ns(
+    spec: &MachineSpec,
+    bytes: usize,
+    src: usize,
+    dst: usize,
+    ctx: &TransferCtx,
+) -> u64 {
+    priced_time_ns(spec, bytes, path(spec, src, dst), ctx)
+}
+
+fn priced_time_ns(spec: &MachineSpec, bytes: usize, link: LinkPath, ctx: &TransferCtx) -> u64 {
     match link {
         LinkPath::SelfCopy => {
             // Device-local copy: read + write at HBM bandwidth.

@@ -40,6 +40,14 @@ echo "== cargo test (FFT_RESHAPE_CHUNKS=1) =="
 # path, which must stay the bit-identical baseline.
 FFT_RESHAPE_CHUNKS=1 cargo test --workspace --offline -q
 
+echo "== cargo test (FFT_RESHAPE_CHUNKS=auto) =="
+# Model-driven chunk selection forced on for every plan (DESIGN.md §16):
+# auto-k plus transform-ahead butterflies must preserve every correctness,
+# consistency, and invariance property, whatever k the model picks per
+# group. A/B tests that compare specific chunk settings detect the
+# override and skip themselves.
+FFT_RESHAPE_CHUNKS=auto cargo test --workspace --offline -q
+
 echo "== SIMD feature-detection smoke =="
 # Prints what the dispatcher sees (CPU features, detected/active tier) and
 # transforms once per available tier, failing on any bitwise divergence
