@@ -35,10 +35,8 @@ fn main() {
     // stays serial so the first-wins tie-breaking matches the serial sweep.
     // FFT_FIG5_MAX_NODES trims the ladder (the CI smoke test caps it so the
     // three profiling runs stay fast); unset = the paper's full 512 nodes.
-    let max_nodes: usize = std::env::var("FFT_FIG5_MAX_NODES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(usize::MAX);
+    let max_nodes: usize =
+        fftobs::env::positive_var("FFT_FIG5_MAX_NODES", "the full ladder").unwrap_or(usize::MAX);
     let ladder: Vec<usize> = table3_ranks()
         .into_iter()
         .filter(|ranks| ranks / 6 <= max_nodes)

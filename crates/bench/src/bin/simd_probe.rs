@@ -16,7 +16,7 @@ fn main() {
     println!("detected tier: {}", simd::detected_tier().name());
     println!(
         "FFT_SIMD     : {}",
-        std::env::var("FFT_SIMD").unwrap_or_else(|_| "(unset)".into())
+        fftobs::env::raw_var("FFT_SIMD").unwrap_or_else(|| "(unset)".into())
     );
     println!("active tier  : {}", simd::active_tier().name());
 

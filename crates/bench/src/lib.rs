@@ -267,16 +267,13 @@ impl Obs {
             }
         }
         if obs.ledger_out.is_none() {
-            if let Ok(path) = std::env::var("FFT_LEDGER") {
+            if let Some(path) = fftobs::env::raw_var("FFT_LEDGER") {
                 if !path.trim().is_empty() {
                     obs.ledger_out = Some(std::path::PathBuf::from(path));
                 }
             }
         }
-        if std::env::var("FFT_METRICS")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
+        if fftobs::env::raw_var("FFT_METRICS").is_some_and(|v| v == "1") {
             obs.metrics = true;
         }
         if obs.active() {
@@ -482,7 +479,7 @@ mod tests {
         // Forced chunking overlaps MPI-call spans, so summed call time can
         // legitimately exceed the makespan; this pins the monolithic
         // protocol only (the CI chunking legs set the override).
-        if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+        if fftobs::env::is_set("FFT_RESHAPE_CHUNKS") {
             return;
         }
         let m = MachineSpec::summit();
@@ -545,7 +542,7 @@ mod tests {
         // The 40-call count is the Fig. 2 protocol fact for monolithic
         // exchanges; forced per-peer chunking multiplies it, so skip under
         // the override (the CI chunking legs set it).
-        if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+        if fftobs::env::is_set("FFT_RESHAPE_CHUNKS") {
             return;
         }
         let m = MachineSpec::summit();

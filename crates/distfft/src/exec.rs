@@ -781,6 +781,8 @@ pub fn execute(
 /// [`mpisim::par::par_parts`].
 /// Every row is still transformed by the same plan math against the same
 /// interned twiddles, so the parallel result is bit-identical to serial.
+// fftlint:hot — steady-state local transform; one call per (axis, rank)
+// of every execute, all buffers must come from the arena pool.
 fn run_local_fft(
     b: &Box3,
     axis: usize,
@@ -849,7 +851,7 @@ fn run_local_fft(
             let units: Vec<&mut [C64]> = data
                 .iter_mut()
                 .flat_map(|item| item.chunks_mut(per * n))
-                .collect();
+                .collect(); // fftlint:allow(no-alloc-in-hot-path): O(workers) unit list for the fan-out, not payload
             mpisim::par::par_parts(arenas, units, |_, arena, seg| {
                 let rows_u = seg.len() / n;
                 let plan = cache.plan1d(n, rows_u, Layout::contiguous(n), Layout::contiguous(n));
@@ -862,7 +864,7 @@ fn run_local_fft(
             let units: Vec<&mut [C64]> = data
                 .iter_mut()
                 .flat_map(|item| item.chunks_mut(plane))
-                .collect();
+                .collect(); // fftlint:allow(no-alloc-in-hot-path): O(workers) unit list for the fan-out, not payload
             let plan = cache.plan1d(n, s[2], Layout::strided(s[2]), Layout::strided(s[2]));
             mpisim::par::par_parts(arenas, units, |_, arena, seg| {
                 plan.execute_inplace_scratch(seg, dir, arena.kernel_for(plan.scratch_elems()));
@@ -872,7 +874,7 @@ fn run_local_fft(
             // Axis 0 spans every plane of an item, so the finest safe `&mut`
             // split is one unit per batch item.
             let stride = s[1] * s[2];
-            let units: Vec<&mut Vec<C64>> = data.iter_mut().collect();
+            let units: Vec<&mut Vec<C64>> = data.iter_mut().collect(); // fftlint:allow(no-alloc-in-hot-path): O(items) unit list for the fan-out, not payload
             let plan = cache.plan1d(n, stride, Layout::strided(stride), Layout::strided(stride));
             mpisim::par::par_parts(arenas, units, |_, arena, item| {
                 plan.execute_inplace_scratch(item, dir, arena.kernel_for(plan.scratch_elems()));
@@ -890,6 +892,8 @@ fn run_local_fft(
 /// Runs execute serially against arena 0's kernel scratch: per-chunk
 /// batches are small slices of one rank's box, where fan-out cost exceeds
 /// the math (the same reasoning as [`par_min_elems`], applied per run).
+// fftlint:hot — per-chunk transform-ahead sub-batches; runs inside the
+// pipelined exchange loop.
 fn run_local_fft_lines(
     b: &Box3,
     axis: usize,
@@ -987,6 +991,8 @@ struct ExchangeArgs<'a, 'w> {
 /// data movement for every item in the chunk. Returns `true` when the
 /// pipelined path also ran the following axis transform per chunk
 /// (transform-ahead) — the caller must then skip that LocalFft step.
+// fftlint:hot — per-chunk pack/exchange/unpack; runs once per pipeline
+// chunk of every reshape.
 fn exchange_chunk(a: ExchangeArgs<'_, '_>) -> bool {
     let ExchangeArgs {
         plan,
@@ -1019,7 +1025,7 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) -> bool {
     // the next axis transform (DESIGN.md §14/§16). Takes over the whole
     // kernel + exchange chain.
     if let Some(sub) = sub {
-        let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+        let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) member table per exchange
         if let Some(k_eff) = pipelined_k(
             plan,
             spec,
@@ -1077,7 +1083,7 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) -> bool {
     // rank's buffer pool (bit-identical to freshly allocated arrays).
     let mut new_data: Vec<Vec<C64>> = (0..items)
         .map(|_| ctx.arenas[0].take_zeroed(to_box.volume()))
-        .collect();
+        .collect(); // fftlint:allow(no-alloc-in-hot-path): outer Vec of pooled buffers; payloads are take_zeroed
 
     // P2P self block: device copy outside MPI.
     if backend.is_p2p() && self_b > 0 {
@@ -1214,6 +1220,7 @@ fn exchange_chunk(a: ExchangeArgs<'_, '_>) -> bool {
 /// order affects timing only. The analytic dry-run replays the same
 /// per-chunk kernel chain and the same partitioned walker, keeping the two
 /// modes in exact agreement.
+// fftlint:hot — the partitioned exchange walker (DESIGN.md §16).
 #[allow(clippy::too_many_arguments)]
 fn exchange_chunk_pipelined(
     plan: &FftPlan,
@@ -1264,12 +1271,12 @@ fn exchange_chunk_pipelined(
     // New local arrays in the target layout (zero-filled from the pool).
     let mut new_data: Vec<Vec<C64>> = (0..items)
         .map(|_| ctx.arenas[0].take_zeroed(to_box.volume()))
-        .collect();
+        .collect(); // fftlint:allow(no-alloc-in-hot-path): outer Vec of pooled buffers; payloads are take_zeroed
 
     // Per-chunk pack chain: each chunk's pack kernel (and, for P2P, the
     // chunk-0 self device copy) serializes on the GPU; `pack_done[k]` is
     // when chunk `k`'s payload is postable.
-    let mut pack_done = vec![SimTime::ZERO; k_eff];
+    let mut pack_done = vec![SimTime::ZERO; k_eff]; // fftlint:allow(no-alloc-in-hot-path): O(chunks) schedule table
     for k in 0..k_eff {
         if backend.needs_pack() && chunk_pack_b[k] > 0 {
             let ns = crate::plan::slowed_ns(slowdowns, me_world, plan.pack_ns(km, chunk_pack_b[k]));
@@ -1311,7 +1318,7 @@ fn exchange_chunk_pipelined(
     // pipelining win over the monolithic `sync_to(*data_ready)`.
     rank.clock.sync_to(pack_done[0]);
     let call_entry = rank.now();
-    let part_entries: Vec<SimTime> = pack_done.iter().map(|t| call_entry.max(*t)).collect();
+    let part_entries: Vec<SimTime> = pack_done.iter().map(|t| call_entry.max(*t)).collect(); // fftlint:allow(no-alloc-in-hot-path): O(chunks) schedule table
 
     // Same grain gate as the monolithic path (see PAR_MIN_ELEMS).
     let vol = items * from_box.volume().max(to_box.volume());
@@ -1467,7 +1474,7 @@ fn exchange_chunk_pipelined(
     // independent, so this is bit-identical to the full-batch pass.
     if let (Some((_, axis)), Some(runs)) = (next_fft, line_runs) {
         if !to_box.is_empty() {
-            let flat: Vec<(usize, usize)> = runs.into_iter().flatten().collect();
+            let flat: Vec<(usize, usize)> = runs.into_iter().flatten().collect(); // fftlint:allow(no-alloc-in-hot-path): O(lines) run list, built once per consumed chunk
             run_local_fft_lines(
                 to_box,
                 axis,
@@ -1510,9 +1517,9 @@ pub(crate) fn chunk_byte_split(
     let p = members.len();
     let send_idx = spec.send_region_index(me_world, members);
     let recv_idx = spec.recv_region_index(me_world, members);
-    let mut pack = vec![0usize; k_eff];
-    let mut unpack = vec![0usize; k_eff];
-    let mut wire = vec![0usize; k_eff];
+    let mut pack = vec![0usize; k_eff]; // fftlint:allow(no-alloc-in-hot-path): O(chunks) byte table
+    let mut unpack = vec![0usize; k_eff]; // fftlint:allow(no-alloc-in-hot-path): O(chunks) byte table
+    let mut wire = vec![0usize; k_eff]; // fftlint:allow(no-alloc-in-hot-path): O(chunks) byte table
     for j in 0..p {
         if pad_bytes > 0 {
             if j == me_sub {
@@ -1565,6 +1572,7 @@ pub(crate) fn chunk_byte_split(
 /// worker's arena ([`par_parts`](mpisim::par::par_parts) round-robin), so
 /// the pack kernel parallelizes while per-arena take counts stay
 /// deterministic; with one arena this degenerates to the serial loop.
+// fftlint:hot — the pack kernel; send buffers must be pooled takes.
 #[allow(clippy::too_many_arguments)]
 fn build_sends(
     plan: &FftPlan,
@@ -1587,14 +1595,14 @@ fn build_sends(
 
     // Source→region index built once per reshape: one O(p + peers) merge
     // instead of an O(peers) `find` per destination.
-    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) member table per reshape
     let send_idx = spec.send_region_index(me_world, &members);
 
-    let dests: Vec<usize> = (0..sub.size()).collect();
+    let dests: Vec<usize> = (0..sub.size()).collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) destination list per reshape
     mpisim::par::par_parts(arenas, dests, |_, pool, j| {
         let dst_world = members[j];
         if is_p2p && dst_world == me_world {
-            return Vec::new();
+            return Vec::new(); // fftlint:allow(no-alloc-in-hot-path): capacity-0 sentinel, no heap
         }
         let mut buf = pool.take_empty();
         if let Some(region) = send_idx[j] {
@@ -1613,6 +1621,7 @@ fn build_sends(
 /// unpack kernel. Batch items are disjoint destinations, so with multiple
 /// arenas the items fan out across workers; each item replays every block
 /// in sub-comm order, making the writes identical to the serial loop.
+// fftlint:hot — the unpack kernel.
 #[allow(clippy::too_many_arguments)]
 fn deposit_recvs(
     plan: &FftPlan,
@@ -1627,9 +1636,9 @@ fn deposit_recvs(
     let is_p2p = plan.opts.backend.is_p2p();
     // Source→region index built once per reshape (O(p + peers)) instead of
     // the per-block linear `find` that made this loop O(peers²).
-    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect();
+    let members: Vec<usize> = (0..sub.size()).map(|j| sub.member(j)).collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) member table per reshape
     let recv_idx = spec.recv_region_index(me_world, &members);
-    let units: Vec<&mut Vec<C64>> = new_data.iter_mut().collect();
+    let units: Vec<&mut Vec<C64>> = new_data.iter_mut().collect(); // fftlint:allow(no-alloc-in-hot-path): O(items) unit list for the fan-out
     mpisim::par::par_parts(arenas, units, |b, _, item| {
         for (j, block) in recvd.iter().enumerate() {
             let src_world = members[j];
@@ -1689,7 +1698,7 @@ fn alltoallw_types(
                 .map(|(_, r)| to_local(from_box, r))
                 .unwrap_or(empty_send)
         })
-        .collect();
+        .collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) datatype table per exchange
     let recv_types: Vec<Subarray> = (0..sub.size())
         .map(|j| {
             let src_world = sub.member(j);
@@ -1699,7 +1708,7 @@ fn alltoallw_types(
                 .map(|(_, r)| to_local(to_box, r))
                 .unwrap_or(empty_recv)
         })
-        .collect();
+        .collect(); // fftlint:allow(no-alloc-in-hot-path): O(group) datatype table per exchange
     (send_types, recv_types)
 }
 

@@ -258,6 +258,11 @@ pub enum PlanError {
     },
     /// The Alltoallw backend supports `batch == 1` only.
     AlltoallwBatched,
+    /// The r2c pipeline supports `batch == 1` only.
+    R2cBatched {
+        /// The rejected batch size.
+        batch: usize,
+    },
     /// A custom I/O distribution has the wrong rank count.
     IoRankMismatch {
         /// Ranks in the supplied distribution.
@@ -282,6 +287,12 @@ impl std::fmt::Display for PlanError {
             ),
             PlanError::AlltoallwBatched => {
                 write!(f, "the Alltoallw backend supports batch == 1 only")
+            }
+            PlanError::R2cBatched { batch } => {
+                write!(
+                    f,
+                    "the r2c pipeline supports batch == 1 only, got batch {batch}"
+                )
             }
             PlanError::IoRankMismatch { got, expected } => {
                 write!(

@@ -49,8 +49,9 @@ impl Real3dPlan {
     /// reshape, and `opts.decomp` picks the intermediate layout family
     /// (slabs when requested and within the `min(n0, n1)` rank limit,
     /// pencils otherwise — the same Fig. 1 trade-off as the complex plan);
-    /// `opts.io`/`batch` are fixed by the r2c pipeline (brick I/O, single
-    /// transform).
+    /// `opts.io` is fixed by the r2c pipeline (brick I/O), and `opts.batch`
+    /// must be 1 — batched r2c is unimplemented and rejected with
+    /// [`PlanError::R2cBatched`].
     pub fn try_build(
         n: [usize; 3],
         nranks: usize,
@@ -61,6 +62,12 @@ impl Real3dPlan {
         }
         if nranks == 0 {
             return Err(PlanError::NoRanks);
+        }
+        // Batched r2c is not implemented: the packed/half-spectrum domains
+        // below are sized for one transform, so a `batch > 1` request must
+        // fail loudly instead of silently transforming only the first item.
+        if opts.batch > 1 {
+            return Err(PlanError::R2cBatched { batch: opts.batch });
         }
         let m = n[2] / 2;
         let h = m + 1;

@@ -35,7 +35,7 @@ const RANKS: usize = 8;
 /// this file to one setting (bit-identity still must hold; schedule
 /// *difference* assertions are skipped).
 fn chunks_env_forced() -> bool {
-    std::env::var("FFT_RESHAPE_CHUNKS").is_ok()
+    fftobs::env::is_set("FFT_RESHAPE_CHUNKS")
 }
 
 /// Distributed forward+inverse at one (backend, chunks, threads) setting;

@@ -144,6 +144,36 @@ fn odd_n2_rejected() {
 }
 
 #[test]
+fn batched_r2c_rejected_with_typed_error() {
+    // Batched r2c is unimplemented; the old behavior silently forced
+    // `batch: 1`, transforming less data than requested.
+    let err = Real3dPlan::try_build(
+        [8, 8, 6],
+        4,
+        FftOptions {
+            batch: 3,
+            ..FftOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err, distfft::PlanError::R2cBatched { batch: 3 });
+    assert!(
+        err.to_string().contains("batch 3"),
+        "error must name the offending batch: {err}"
+    );
+    // batch == 1 stays accepted.
+    assert!(Real3dPlan::try_build(
+        [8, 8, 6],
+        4,
+        FftOptions {
+            batch: 1,
+            ..FftOptions::default()
+        }
+    )
+    .is_ok());
+}
+
+#[test]
 fn slab_r2c_roundtrip_and_matches_pencils() {
     // The slab pipeline (one fewer reshape) must produce the same spectrum
     // as the pencil pipeline and round-trip to the input.

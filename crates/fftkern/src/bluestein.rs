@@ -93,7 +93,7 @@ impl BluesteinPlan {
 
     /// In-place unnormalized transform of `data` (length must equal `n`).
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
-        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_with_scratch
         self.execute_with_scratch(data, dir, &mut scratch);
     }
 

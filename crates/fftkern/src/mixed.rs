@@ -101,8 +101,8 @@ impl MixedPlan {
     /// [`execute_strided`]: MixedPlan::execute_strided
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
         assert_eq!(data.len(), self.n);
-        let mut out = vec![C64::ZERO; self.n];
-        let mut scratch = vec![C64::ZERO; self.n];
+        let mut out = vec![C64::ZERO; self.n]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_strided
+        let mut scratch = vec![C64::ZERO; self.n]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_strided
         self.execute_strided(data, 1, &mut out, &mut scratch, dir);
         data.copy_from_slice(&out);
     }

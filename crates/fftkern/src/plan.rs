@@ -311,7 +311,7 @@ impl Plan1d {
 
     /// Executes the batch out of place.
     pub fn execute(&self, input: &[C64], output: &mut [C64], dir: Direction) {
-        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_scratch
         self.execute_scratch(input, output, dir, &mut scratch);
     }
 
@@ -595,7 +595,7 @@ impl Plan2d {
 
     /// In-place unnormalized 2-D transform.
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
-        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_scratch
         self.execute_scratch(data, dir, &mut scratch);
     }
 
@@ -668,7 +668,7 @@ impl Plan3d {
 
     /// In-place unnormalized 3-D transform.
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
-        let mut scratch = vec![C64::ZERO; self.scratch_elems()];
+        let mut scratch = vec![C64::ZERO; self.scratch_elems()]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_scratch
         self.execute_scratch(data, dir, &mut scratch);
     }
 

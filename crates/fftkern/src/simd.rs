@@ -185,6 +185,7 @@ pub fn detected_features() -> String {
 /// `m ≥ 4`), AVX2 handles `s ≥ 2` (and `s == 1` radix-8 with `m ≥ 2`),
 /// everything else — tiny first stages, non-x86 hosts, the scalar tier —
 /// returns `false` so the caller runs the scalar stage body.
+// fftlint:hot — dispatched once per Stockham stage of every line.
 #[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
 pub(crate) fn run_stage(
     tier: SimdTier,

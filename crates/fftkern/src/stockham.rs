@@ -92,6 +92,8 @@ impl StockhamPlan {
     /// In-place unnormalized transform of `data` (length must equal `n`),
     /// ping-ponging through `work` (at least `n` elements). The result
     /// always lands back in `data`; `work` is clobbered.
+    // fftlint:hot — the per-line butterfly path; allocation here multiplies
+    // by every (line, axis, rank) of every distributed transform.
     pub fn execute_scratch(&self, data: &mut [C64], dir: Direction, work: &mut [C64]) {
         assert_eq!(data.len(), self.n, "buffer length does not match plan size");
         assert!(work.len() >= self.n, "work buffer smaller than n");
@@ -142,7 +144,7 @@ impl StockhamPlan {
     ///
     /// [`execute_scratch`]: StockhamPlan::execute_scratch
     pub fn execute(&self, data: &mut [C64], dir: Direction) {
-        let mut work = vec![C64::ZERO; self.n];
+        let mut work = vec![C64::ZERO; self.n]; // fftlint:allow(no-alloc-in-hot-path): allocating convenience wrapper; executor uses execute_scratch
         self.execute_scratch(data, dir, &mut work);
     }
 }

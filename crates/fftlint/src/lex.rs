@@ -50,6 +50,10 @@ pub struct Scanned {
     pub tokens: Vec<Token>,
     /// Every allow directive found in comments.
     pub allows: Vec<Allow>,
+    /// Lines carrying a `// fftlint:hot` marker. A marker designates the
+    /// next `fn` item at or below its line as a hot-path root for the
+    /// `no-alloc-in-hot-path` rule (see [`crate::tree`]).
+    pub hots: Vec<u32>,
 }
 
 impl Scanned {
@@ -192,6 +196,7 @@ pub fn scan(src: &str) -> Scanned {
                 }
                 let text: String = b[start..i].iter().collect();
                 parse_allow(&text, tline, &mut out.allows);
+                parse_hot(&text, tline, &mut out.hots);
             }
             // Block comment, nested.
             '/' if b.get(i + 1) == Some(&'*') => {
@@ -215,6 +220,7 @@ pub fn scan(src: &str) -> Scanned {
                 }
                 let text: String = b[start..i.min(b.len())].iter().collect();
                 parse_allow(&text, tline, &mut out.allows);
+                parse_hot(&text, tline, &mut out.hots);
             }
             // String literals: plain, byte, raw (any hash count).
             '"' => {
@@ -401,6 +407,24 @@ fn parse_allow(comment: &str, line: u32, out: &mut Vec<Allow>) {
     }
 }
 
+/// Detects a `fftlint:hot` marker in comment text. The marker must stand
+/// alone (not be the prefix of `fftlint:hot-something`), so a following
+/// alphanumeric or `-`/`_` character disqualifies the match.
+fn parse_hot(comment: &str, line: u32, out: &mut Vec<u32>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("fftlint:hot") {
+        let after = &rest[pos + "fftlint:hot".len()..];
+        let standalone = after
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '-' || c == '_'));
+        if standalone && !out.contains(&line) {
+            out.push(line);
+        }
+        rest = after;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +482,12 @@ mod tests {
         assert!(s.allowed("no-unordered-iter", 2)); // next line covered
         assert!(!s.allowed("no-unordered-iter", 3));
         assert!(!s.allowed("no-unsafe", 1));
+    }
+
+    #[test]
+    fn hot_markers_record_their_line() {
+        let s = scan("// fftlint:hot — butterfly driver\nfn f() {}\nfn g() {} // fftlint:hot\n// fftlint:hotel has no marker\n");
+        assert_eq!(s.hots, vec![1, 3]);
     }
 
     #[test]

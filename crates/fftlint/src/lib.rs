@@ -3,9 +3,15 @@
 //! A dependency-free static analyzer (hand-written lexer, no syn/proc-macro)
 //! that enforces the project's simulated-time contract at build time:
 //! simulated durations, trace events, and figure stdout must be bit-identical
-//! across executor thread counts, scheduler memoization modes, and reruns.
-//! The rules (see [`rules`]) are deny-by-default; the only escape hatch is an
-//! inline `// fftlint:allow(<rule-id>): <justification>` comment.
+//! across executor thread counts, scheduler memoization modes, and reruns,
+//! and the executor's steady state must stay allocation-free (the paper's
+//! plan-once/execute contract). Analysis runs in two passes: [`lex`] +
+//! [`tree`] parse each file into an item tree, then [`graph`] builds a
+//! workspace-wide call graph for the interprocedural rules. The rules (see
+//! [`rules`]) are deny-by-default; the escape hatches are an inline
+//! `// fftlint:allow(<rule-id>): <justification>` comment and, for the
+//! reviewed pre-existing stock, the committed [`baseline`]. Findings can
+//! also be exported as SARIF 2.1.0 ([`sarif`]).
 //!
 //! The companion *runtime* half of the contract lives behind
 //! `--features sanitize` in `mpisim`/`distfft` (replay digests, pool leak
@@ -14,9 +20,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod graph;
+pub mod json;
 pub mod lex;
 pub mod rules;
+pub mod sarif;
+pub mod tree;
 
+pub use graph::Analysis;
 pub use rules::{FileCtx, FileKind, Finding, ALL_RULES};
 
 use std::path::{Path, PathBuf};
@@ -45,30 +57,38 @@ pub fn classify(rel: &str) -> (String, FileKind) {
     (crate_name, kind)
 }
 
-/// Lints one source string as the given workspace-relative path.
-pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
-    let (crate_name, kind) = classify(rel);
-    let scanned = lex::scan(src);
-    rules::lint(
-        &scanned,
-        &FileCtx {
-            path: rel,
-            crate_name: &crate_name,
-            kind,
-        },
-    )
+/// Runs the full two-pass analysis (per-file rules + call-graph rules)
+/// over `(relative_path, source)` inputs.
+pub fn analyze(inputs: &[(String, String)]) -> Vec<Finding> {
+    Analysis::build(inputs).findings()
 }
 
-/// Lints one file on disk. `root` anchors the workspace-relative display
-/// path; files outside `root` keep their full path.
-pub fn lint_file(root: &Path, file: &Path) -> std::io::Result<Vec<Finding>> {
-    let src = std::fs::read_to_string(file)?;
-    let rel = file
-        .strip_prefix(root)
+/// Lints one source string as the given workspace-relative path. The call
+/// graph covers just this file — interprocedural rules still run, seeing
+/// only intra-file edges.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    analyze(&[(rel.to_string(), src.to_string())])
+}
+
+/// Workspace-relative display path for `file` under `root` (forward
+/// slashes; files outside `root` keep their full path).
+pub fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
         .unwrap_or(file)
         .to_string_lossy()
-        .replace('\\', "/");
-    Ok(lint_source(&rel, &src))
+        .replace('\\', "/")
+}
+
+/// Reads every file and runs the full workspace analysis. IO errors name
+/// the offending file.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut inputs = Vec::with_capacity(files.len());
+    for file in files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", file.display())))?;
+        inputs.push((rel_path(root, file), src));
+    }
+    Ok(analyze(&inputs))
 }
 
 /// Collects every lintable `.rs` file under `root`, sorted for
@@ -147,5 +167,25 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, rules::NO_WALLCLOCK);
         assert_eq!(f[0].path, "crates/mpisim/src/x.rs");
+    }
+
+    #[test]
+    fn workspace_walk_includes_fftlint_itself() {
+        // fftlint self-lints: its own sources must be in the walk, while
+        // vendored stand-ins and violation fixtures must not.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).expect("workspace walk");
+        let rels: Vec<String> = files.iter().map(|p| rel_path(&root, p)).collect();
+        for own in [
+            "crates/fftlint/src/lib.rs",
+            "crates/fftlint/src/graph.rs",
+            "crates/fftlint/src/main.rs",
+        ] {
+            assert!(rels.iter().any(|r| r == own), "{own} missing from walk");
+        }
+        assert!(rels.iter().all(|r| !r.starts_with("vendor/")));
+        assert!(rels
+            .iter()
+            .all(|r| !r.starts_with("crates/fftlint/tests/fixtures/")));
     }
 }

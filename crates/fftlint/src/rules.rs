@@ -1,9 +1,10 @@
-//! The four determinism rules.
+//! The per-file determinism rules and the shared rule registry.
 //!
-//! Each rule walks the token stream from [`crate::lex::scan`] and emits
-//! [`Finding`]s. All rules are deny-by-default; the only escape is an
+//! Each per-file rule walks the token stream from [`crate::lex::scan`] and
+//! emits [`Finding`]s. All rules are deny-by-default; the only escape is an
 //! inline `// fftlint:allow(<rule-id>): <justification>` comment on the
-//! offending line or the line directly above it.
+//! offending line or the line directly above it (interprocedural findings
+//! can also be pinned in the committed baseline, see [`crate::baseline`]).
 //!
 //! | id | contract enforced |
 //! |---|---|
@@ -12,6 +13,11 @@
 //! | `no-unsafe` | the workspace stays `unsafe`-free |
 //! | `no-panic-in-lib` | `unwrap`/`expect` only in tests, bins, benches |
 //! | `float-reduction-order` | parallel f64 reductions merge in index order |
+//!
+//! The four interprocedural rules (`no-alloc-in-hot-path`,
+//! `env-read-outside-fftobs`, `lock-order`, `panic-reachable-from-exec`)
+//! live in [`crate::graph`]; their ids are registered here so every
+//! consumer (CLI, SARIF, baseline) sees one list.
 
 use crate::lex::{Scanned, Tok};
 
@@ -25,15 +31,52 @@ pub const NO_UNSAFE: &str = "no-unsafe";
 pub const NO_PANIC_IN_LIB: &str = "no-panic-in-lib";
 /// Rule id: parallel float reductions without an index-ordered merge.
 pub const FLOAT_REDUCTION_ORDER: &str = "float-reduction-order";
+/// Rule id: allocation inside (or transitively below) a `fftlint:hot` fn.
+pub const NO_ALLOC_IN_HOT_PATH: &str = "no-alloc-in-hot-path";
+/// Rule id: `std::env::var`/`var_os` anywhere but `fftobs::env`.
+pub const ENV_READ_OUTSIDE_FFTOBS: &str = "env-read-outside-fftobs";
+/// Rule id: two locks acquirable in an order seen reversed elsewhere.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule id: panic site transitively reachable from executor entry points.
+pub const PANIC_REACHABLE_FROM_EXEC: &str = "panic-reachable-from-exec";
 
-/// Every rule id, for `--list-rules` and fixture tests.
-pub const ALL_RULES: [&str; 5] = [
+/// Every rule id, for `--list-rules`, SARIF metadata, and fixture tests.
+/// The first five are per-file token rules (this module); the last four
+/// are the interprocedural call-graph rules in [`crate::graph`].
+pub const ALL_RULES: [&str; 9] = [
     NO_WALLCLOCK,
     NO_UNORDERED_ITER,
     NO_UNSAFE,
     NO_PANIC_IN_LIB,
     FLOAT_REDUCTION_ORDER,
+    NO_ALLOC_IN_HOT_PATH,
+    ENV_READ_OUTSIDE_FFTOBS,
+    LOCK_ORDER,
+    PANIC_REACHABLE_FROM_EXEC,
 ];
+
+/// One-line summary per rule id, for SARIF `rules` metadata and
+/// `--list-rules` consumers.
+pub fn summary(rule: &str) -> &'static str {
+    match rule {
+        _ if rule == NO_WALLCLOCK => "host-clock read in a simulated-time crate",
+        _ if rule == NO_UNORDERED_ITER => "HashMap/HashSet iteration order is nondeterministic",
+        _ if rule == NO_UNSAFE => "unsafe code is forbidden across the workspace",
+        _ if rule == NO_PANIC_IN_LIB => "unwrap/expect in library code",
+        _ if rule == FLOAT_REDUCTION_ORDER => {
+            "parallel f64 reduction without an index-ordered merge"
+        }
+        _ if rule == NO_ALLOC_IN_HOT_PATH => {
+            "allocation inside or transitively below a fftlint:hot function"
+        }
+        _ if rule == ENV_READ_OUTSIDE_FFTOBS => "process environment read outside fftobs::env",
+        _ if rule == LOCK_ORDER => "locks acquired in an order seen reversed elsewhere",
+        _ if rule == PANIC_REACHABLE_FROM_EXEC => {
+            "panic site transitively reachable from an executor entry point"
+        }
+        _ => "unknown rule",
+    }
+}
 
 /// Crates whose timelines are simulated: a host-clock read there can leak
 /// wall time into simulated results, the exact failure class the replay

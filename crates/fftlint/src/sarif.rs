@@ -1,0 +1,160 @@
+//! SARIF 2.1.0 export.
+//!
+//! One run, one `tool.driver` carrying the full rule registry, one
+//! `result` per finding with a `physicalLocation` region and — when the
+//! run was classified against a baseline — a `baselineState` of `"new"`
+//! or `"unchanged"`, so SARIF viewers and code-scanning uploads can show
+//! pinned findings without them gating the run.
+//!
+//! The emitter is hand-written (fftlint stays dependency-free); ci.sh
+//! validates the output with `trace_check --sarif`, whose independent
+//! JSON parser (`fftobs::json`) cross-checks this writer.
+
+use crate::json::escape;
+use crate::rules::{self, Finding, ALL_RULES};
+
+/// Baseline classification attached to a SARIF result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineState {
+    /// Not pinned in the baseline: fails the run.
+    New,
+    /// Pinned in the baseline: reported but suppressed.
+    Unchanged,
+}
+
+/// Renders findings (optionally baseline-classified) as a SARIF 2.1.0
+/// document, newline-terminated.
+pub fn render(findings: &[(Finding, Option<BaselineState>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"fftlint\",\n");
+    out.push_str("          \"version\": \"2.0.0\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/fftlint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            escape(rule),
+            escape(rules::summary(rule)),
+            if i + 1 < ALL_RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, (f, state)) in findings.iter().enumerate() {
+        let rule_index = ALL_RULES
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or(ALL_RULES.len());
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", escape(f.rule)));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str("          \"level\": \"error\",\n");
+        if let Some(state) = state {
+            let s = match state {
+                BaselineState::New => "new",
+                BaselineState::Unchanged => "unchanged",
+            };
+            out.push_str(&format!("          \"baselineState\": \"{s}\",\n"));
+        }
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            escape(&f.msg)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}},\n",
+            escape(&f.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n",
+            f.line, f.col
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    #[test]
+    fn sarif_parses_and_carries_all_fields() {
+        let findings = vec![
+            (
+                Finding {
+                    rule: rules::NO_ALLOC_IN_HOT_PATH,
+                    path: "crates/fftkern/src/stockham.rs".to_string(),
+                    line: 10,
+                    col: 5,
+                    msg: "vec![] allocates (\"chain\" -> deep)".to_string(),
+                },
+                Some(BaselineState::New),
+            ),
+            (
+                Finding {
+                    rule: rules::LOCK_ORDER,
+                    path: "crates/obs/src/metrics.rs".to_string(),
+                    line: 2,
+                    col: 3,
+                    msg: "reverse order".to_string(),
+                },
+                Some(BaselineState::Unchanged),
+            ),
+        ];
+        let doc = json::parse(&render(&findings)).expect("SARIF must be valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs");
+        let run = &runs[0];
+        let rules_arr = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_arr)
+            .expect("rules");
+        assert_eq!(rules_arr.len(), ALL_RULES.len());
+        let results = run.get("results").and_then(Value::as_arr).expect("results");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("baselineState").and_then(Value::as_str),
+            Some("new")
+        );
+        assert_eq!(
+            results[1].get("ruleId").and_then(Value::as_str),
+            Some("lock-order")
+        );
+        let region = results[0]
+            .get("locations")
+            .and_then(Value::as_arr)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .expect("region");
+        assert_eq!(region.get("startLine").and_then(Value::as_num), Some(10.0));
+    }
+
+    #[test]
+    fn empty_findings_still_render_valid_sarif() {
+        let doc = json::parse(&render(&[])).expect("valid");
+        let results = doc
+            .get("runs")
+            .and_then(Value::as_arr)
+            .and_then(|r| r.first())
+            .and_then(|r| r.get("results"))
+            .and_then(Value::as_arr)
+            .expect("results");
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: the executor-entry half of the cross-crate panic chain. Linted
+// as `crates/distfft/src/exec.rs`, so `execute` seeds
+// `panic-reachable-from-exec`; the panics it reaches live in
+// `panic_chain.rs`, linted as an `fftkern` source.
+
+pub fn execute(p: &P) -> usize {
+    kern_entry(p)
+}

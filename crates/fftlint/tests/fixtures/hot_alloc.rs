@@ -1,0 +1,24 @@
+// Fixture: `no-alloc-in-hot-path`. The marked driver takes from the pool
+// (exempt), then reaches an allocation two hops down the call graph; the
+// sibling `cold` path allocates freely because nothing hot reaches it.
+
+// fftlint:hot
+pub fn driver(pool: &mut Pool, n: usize) {
+    let buf = pool.take_buffer(n);
+    stage(buf, n);
+}
+
+pub fn stage(buf: &mut [u8], n: usize) {
+    deep(buf, n);
+}
+
+pub fn deep(buf: &mut [u8], n: usize) {
+    let spill = vec![0u8; n];
+    let sentinel: Vec<u8> = Vec::new(); // fftlint:allow(no-alloc-in-hot-path): capacity-0 sentinel, no heap
+    consume(buf, spill, sentinel);
+}
+
+pub fn cold(n: usize) {
+    let scratch = vec![0u8; n];
+    consume(&mut [], scratch, Vec::new());
+}

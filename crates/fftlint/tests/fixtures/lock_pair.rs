@@ -1,0 +1,27 @@
+// Fixture: `lock-order`. `forward` and `backward` take the same two locks
+// in opposite orders — `forward`'s second acquisition is flagged, while
+// `backward` carries the inline justification. `outer` shows the
+// interprocedural shape: it still holds `alpha` when `tail` locks `beta`.
+
+pub fn forward(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    consume(a, b);
+}
+
+pub fn backward(s: &S) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock(); // fftlint:allow(lock-order): fixture demonstrates suppression
+    consume(a, b);
+}
+
+pub fn outer(s: &S) {
+    let a = s.alpha.lock();
+    tail(s);
+    consume_one(a);
+}
+
+pub fn tail(s: &S) {
+    let b = s.beta.lock();
+    consume_one(b);
+}

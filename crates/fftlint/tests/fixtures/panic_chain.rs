@@ -1,0 +1,21 @@
+// Fixture: the callee half of the cross-crate panic chain (see
+// `exec_seed.rs`). `deep` panics two hops below the executor entry;
+// `indexed` shows the per-fn index summary; `justified` shows that a
+// written `no-panic-in-lib` invariant also discharges reachability.
+
+pub fn kern_entry(p: &P) -> usize {
+    deep(p) + indexed(p) + justified(p)
+}
+
+fn deep(p: &P) -> usize {
+    p.value.unwrap()
+}
+
+fn indexed(p: &P) -> usize {
+    p.table[0] + p.table[1]
+}
+
+fn justified(p: &P) -> usize {
+    // fftlint:allow(no-panic-in-lib): fixture: the invariant note covers reachability too
+    p.checked.unwrap()
+}

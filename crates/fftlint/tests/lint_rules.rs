@@ -119,6 +119,98 @@ fn clean_fixture_is_clean() {
 }
 
 #[test]
+fn hot_alloc_fixture_flags_the_two_hop_chain_only() {
+    // The pooled take is exempt, the annotated capacity-0 sentinel is
+    // suppressed, and `cold` allocates freely — only the allocation two
+    // hops below the `fftlint:hot` driver fires.
+    let f = lint_fixture("hot_alloc.rs");
+    assert_eq!(spans(&f), vec![(rules::NO_ALLOC_IN_HOT_PATH, 16, 17)]);
+    assert!(
+        f[0].msg.contains("driver -> stage -> deep"),
+        "finding must carry the call chain: {}",
+        f[0].msg
+    );
+}
+
+#[test]
+fn lock_pair_fixture_flags_both_shapes_and_allow_silences_backward() {
+    // `forward` (lexical pair) and `outer` (hold-and-call via `tail`) are
+    // flagged against `backward`'s reversed order; `backward`'s own site
+    // carries the inline justification.
+    let f = lint_fixture("lock_pair.rs");
+    assert_eq!(
+        spans(&f),
+        vec![(rules::LOCK_ORDER, 8, 20), (rules::LOCK_ORDER, 20, 5)]
+    );
+    assert!(
+        f[1].msg.contains("via call to `tail`"),
+        "interprocedural finding must name the callee: {}",
+        f[1].msg
+    );
+    assert!(
+        f.iter().all(|x| x.msg.contains("lock_pair.rs:14")),
+        "findings must point at the reversing site"
+    );
+}
+
+#[test]
+fn env_probe_fixture_fires_once_and_is_exempt_as_fftobs_env() {
+    let f = lint_fixture("env_probe.rs");
+    assert_eq!(spans(&f), vec![(rules::ENV_READ_OUTSIDE_FFTOBS, 6, 10)]);
+
+    // The identical source *as* the sanctioned implementation file is clean.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let src = std::fs::read_to_string(format!("{dir}/env_probe.rs")).expect("fixture readable");
+    let f = fftlint::lint_source("crates/obs/src/env.rs", &src);
+    assert!(
+        f.iter().all(|x| x.rule != rules::ENV_READ_OUTSIDE_FFTOBS),
+        "the fftobs env module must be exempt: {f:?}"
+    );
+}
+
+#[test]
+fn panic_chain_fixtures_cross_the_crate_boundary() {
+    // Two files analyzed together: the executor entry in pretend
+    // `distfft/src/exec.rs` seeds reachability, the panics live in a
+    // pretend `fftkern` source two hops away.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let exec = std::fs::read_to_string(format!("{dir}/exec_seed.rs")).expect("fixture readable");
+    let kern = std::fs::read_to_string(format!("{dir}/panic_chain.rs")).expect("fixture readable");
+    let f = fftlint::analyze(&[
+        ("crates/distfft/src/exec.rs".to_string(), exec),
+        ("crates/fftkern/src/panic_chain.rs".to_string(), kern),
+    ]);
+    let reach: Vec<(u32, u32)> = f
+        .iter()
+        .filter(|x| x.rule == rules::PANIC_REACHABLE_FROM_EXEC)
+        .map(|x| (x.line, x.col))
+        .collect();
+    // The unwrap in `deep`, plus the per-fn index summary in `indexed`;
+    // `justified`'s unwrap is discharged by its written `no-panic-in-lib`
+    // invariant, which covers reachability too.
+    assert_eq!(reach, vec![(11, 13), (15, 12)]);
+    let unwrap_finding = f
+        .iter()
+        .find(|x| x.rule == rules::PANIC_REACHABLE_FROM_EXEC && x.line == 11)
+        .expect("unwrap finding");
+    assert_eq!(unwrap_finding.path, "crates/fftkern/src/panic_chain.rs");
+    assert!(
+        unwrap_finding.msg.contains("execute -> kern_entry -> deep"),
+        "finding must carry the cross-crate chain: {}",
+        unwrap_finding.msg
+    );
+    let index_finding = f
+        .iter()
+        .find(|x| x.rule == rules::PANIC_REACHABLE_FROM_EXEC && x.line == 15)
+        .expect("index summary finding");
+    assert!(
+        index_finding.msg.contains("2 index expression(s)"),
+        "index sites summarize per fn: {}",
+        index_finding.msg
+    );
+}
+
+#[test]
 fn fixture_directory_is_excluded_from_workspace_walks() {
     // The fixtures seed deliberate violations; a workspace walk rooted at
     // the repo must never pick them up (CI runs `fftlint --workspace` and

@@ -46,7 +46,7 @@ fn stall_ns(p: &Profile) -> u64 {
 fn chunking_reduces_recv_wait_plus_idle() {
     // The env override collapses both settings to one config; the A/B is
     // meaningless then (the CI chunking legs set it), so skip.
-    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+    if fftobs::env::is_set("FFT_RESHAPE_CHUNKS") {
         return;
     }
     let off = profiled(1);
@@ -72,7 +72,7 @@ fn transform_ahead_hides_butterflies_under_the_wire() {
     // overlap account, (b) recv-wait shrinks — waiting became compute —
     // and (c) the makespan strictly drops vs the monolithic exchange
     // (PR 7's overlap alone was nearly makespan-neutral here).
-    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+    if fftobs::env::is_set("FFT_RESHAPE_CHUNKS") {
         return;
     }
     let off = profiled(1);
@@ -115,7 +115,7 @@ fn transform_ahead_hides_butterflies_under_the_wire() {
 fn auto_chunking_profiles_like_a_tuned_fixed_k() {
     // `reshape_chunks: 0` is the auto sentinel: the model-picked k must
     // land within a whisker of the best fixed setting on this workload.
-    if std::env::var("FFT_RESHAPE_CHUNKS").is_ok() {
+    if fftobs::env::is_set("FFT_RESHAPE_CHUNKS") {
         return;
     }
     let auto = profiled(0);

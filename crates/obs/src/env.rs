@@ -78,6 +78,21 @@ pub fn positive_var(var: &'static str, fallback: &str) -> Option<usize> {
     parse_var(var, "a positive integer", fallback, parse_positive)
 }
 
+/// Reads `var` raw, `None` when unset or not valid UTF-8. The sanctioned
+/// accessor for knobs with no grammar to enforce (file paths, free-form
+/// pass-through values echoed in diagnostics) — anything with a typed
+/// shape should go through [`parse_var`] so garbage warns.
+pub fn raw_var(var: &str) -> Option<String> {
+    std::env::var(var).ok()
+}
+
+/// True when `var` is set (to anything, including empty). For presence
+/// gates — e.g. tests that skip themselves while a CI sweep forces an
+/// override — where the *value* is owned by some other reader.
+pub fn is_set(var: &str) -> bool {
+    std::env::var_os(var).is_some()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +111,12 @@ mod tests {
         assert_eq!(parse_positive(""), None);
         assert_eq!(parse_positive("-2"), None);
         assert_eq!(parse_positive("4.5"), None);
+    }
+
+    #[test]
+    fn raw_and_presence_accessors_see_unset_vars() {
+        assert_eq!(raw_var("FFT_ENV_TEST_NEVER_SET"), None);
+        assert!(!is_set("FFT_ENV_TEST_NEVER_SET"));
     }
 
     #[test]

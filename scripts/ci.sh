@@ -5,18 +5,42 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+TDIR=$(mktemp -d)
+trap 'rm -rf "$TDIR"' EXIT
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== fftlint --workspace =="
-# Determinism linter (DESIGN.md §12): no wall-clock reads in simulated-time
-# crates, no HashMap/HashSet in runtime code, no unsafe, no unwrap/expect in
-# library code, no unordered parallel float reductions. Deny-by-default;
-# the only escape is an inline justified `// fftlint:allow(<rule>)`.
-cargo run --offline -q -p fftlint -- --workspace
+echo "== fftlint --workspace (baseline + SARIF) =="
+# Call-graph-aware determinism linter (DESIGN.md §12/§17): the five
+# per-file rules (wall-clock, hash iteration, unsafe, unwrap/expect, float
+# reductions) plus the four interprocedural ones (hot-path allocations, env
+# discipline, lock order, panic reachability from the executor).
+# Deny-by-default; the escapes are an inline justified
+# `// fftlint:allow(<rule>)` and the committed findings baseline — new
+# findings fail, and silently-fixed pins fail as stale. fftlint lints its
+# own crate in the same walk. The SARIF export is validated by
+# `trace_check --sarif`, an independent JSON parser (fftobs::json)
+# cross-checking fftlint's hand-written emitter.
+cargo build --offline -q -p fft-bench --bin trace_check
+cargo run --offline -q -p fftlint -- --workspace \
+    --baseline fftlint-baseline.json --sarif "$TDIR/fftlint.sarif"
+./target/debug/trace_check --sarif "$TDIR/fftlint.sarif"
+
+echo "== fftlint baseline drift must fail =="
+# A doctored baseline (first pin's line edited) must fail the gate both
+# ways at once: the real finding surfaces as new and the doctored pin goes
+# stale. Guards the gate itself against silently accepting drift.
+sed '0,/"line": [0-9]*/s//"line": 99999/' fftlint-baseline.json \
+    >"$TDIR/doctored-baseline.json"
+if cargo run --offline -q -p fftlint -- --workspace \
+    --baseline "$TDIR/doctored-baseline.json" >/dev/null 2>&1; then
+    echo "FAIL: doctored baseline did not fail the lint gate" >&2
+    exit 1
+fi
 
 echo "== cargo test =="
 cargo test --workspace --offline -q
@@ -64,8 +88,6 @@ echo "== trace export smoke test =="
 # The observability layer must be invisible on stdout: a figure run with
 # --trace-out/--metrics has to be byte-identical to a plain run, and the
 # exported Chrome-trace JSON must validate (per-rank pids, FFT phase names).
-TDIR=$(mktemp -d)
-trap 'rm -rf "$TDIR"' EXIT
 cargo build --offline -q -p fft-bench --bin fig2 --bin trace_check
 ./target/debug/fig2 >"$TDIR/plain.out"
 ./target/debug/fig2 --trace-out "$TDIR/fig2.json" --metrics \
